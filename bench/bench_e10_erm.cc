@@ -1,0 +1,53 @@
+// Experiment E10 (slides 16-20): the ERM learning pipeline end to end, on
+// the three task shapes the paper motivates (slides 7-9): graph
+// classification (molecules), node classification (citations), link
+// prediction (social networks).
+#include <cstdio>
+
+#include "base/rng.h"
+#include "gnn/trainable.h"
+#include "graph/generators.h"
+
+using namespace gelc;
+
+int main() {
+  Rng rng(2023);
+  std::printf("E10: empirical risk minimization   [slides 16-20]\n\n");
+  std::printf("%-28s %-8s %-12s %-12s\n", "task", "epochs", "train acc",
+              "test acc");
+
+  TrainOptions mol_opt;
+  mol_opt.epochs = 120;
+  mol_opt.learning_rate = 0.02;
+  mol_opt.hidden_widths = {16, 16};
+  GraphDataset molecules = SyntheticMolecules(100, &rng);
+  TrainReport mol = *TrainGraphClassifier(molecules, mol_opt);
+  std::printf("%-28s %-8zu %-12.3f %-12.3f\n", "molecule classification",
+              mol_opt.epochs, mol.train_accuracy, mol.test_accuracy);
+
+  TrainOptions cit_opt;
+  cit_opt.epochs = 150;
+  cit_opt.learning_rate = 0.02;
+  cit_opt.hidden_widths = {16};
+  NodeDataset citations = SyntheticCitations(150, 3, 0.3, &rng);
+  TrainReport cit = *TrainNodeClassifier(citations, cit_opt);
+  std::printf("%-28s %-8zu %-12.3f %-12.3f\n", "citation node labels",
+              cit_opt.epochs, cit.train_accuracy, cit.test_accuracy);
+
+  TrainOptions link_opt;
+  link_opt.epochs = 120;
+  link_opt.learning_rate = 0.02;
+  link_opt.hidden_widths = {8};
+  LinkDataset links = SyntheticSocialLinks(200, &rng);
+  TrainReport link = *TrainLinkPredictor(links, link_opt);
+  std::printf("%-28s %-8zu %-12.3f %-12.3f\n", "social link prediction",
+              link_opt.epochs, link.train_accuracy, link.test_accuracy);
+
+  std::printf(
+      "\nexpected shape: all three clearly above chance (0.5 / 0.33 / 0.5),\n"
+      "showing the hypothesis classes of slides 13-17 are learnable with\n"
+      "backprop + Adam as slide 20 describes.\n");
+  bool ok = mol.test_accuracy > 0.7 && cit.test_accuracy > 0.6 &&
+            link.test_accuracy > 0.6;
+  return ok ? 0 : 1;
+}

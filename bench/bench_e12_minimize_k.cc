@@ -1,0 +1,93 @@
+// Experiment E12 (slide 70, open problem #4): "finding the minimal k in
+// GEL^k(Ω,Θ) needed for your method — the lower k the better the upper
+// bound [and] related to treewidth notions".
+//
+// The variable-minimization rewriter renames binders scope-aware so that
+// message-passing chains written with many variables collapse to the
+// 2-variable MPNN fragment, improving the certified separation bound from
+// "(k-1)-WL" down to "color refinement" AND the evaluation cost from
+// O(n^k) down to O(n^2)-shaped tables. Genuinely 3-variable patterns
+// (triangles) stay at width 3.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/analysis.h"
+#include "core/eval.h"
+#include "core/parser.h"
+#include "core/rewrite.h"
+#include "graph/generators.h"
+
+using namespace gelc;
+
+namespace {
+
+double EvalMillis(const ExprPtr& e, const Graph& g) {
+  auto start = std::chrono::steady_clock::now();
+  Evaluator eval(g);
+  Result<EvalTable> t = eval.Eval(e);
+  auto stop = std::chrono::steady_clock::now();
+  if (!t.ok()) return -1.0;
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+  struct Case {
+    std::string name;
+    std::string text;
+  };
+  std::vector<Case> cases = {
+      {"2-hop chain",
+       "agg[sum]_{x1}(agg[sum]_{x2}([1] | E(x1,x2)) | E(x0,x1))"},
+      {"3-hop chain",
+       "agg[sum]_{x1}(agg[sum]_{x2}(agg[sum]_{x3}([1] | E(x2,x3)) "
+       "| E(x1,x2)) | E(x0,x1))"},
+      {"4-hop chain",
+       "agg[sum]_{x1}(agg[sum]_{x2}(agg[sum]_{x3}(agg[sum]_{x4}([1] | "
+       "E(x3,x4)) | E(x2,x3)) | E(x1,x2)) | E(x0,x1))"},
+      {"triangle count",
+       "agg[sum]_{x1,x2}([1] | mul(mul(E(x0,x1), E(x1,x2)), E(x2,x0)))"},
+      {"wasteful readout", "agg[sum]_{x5}(agg[sum]_{x3}([1] | E(x5,x3)))"},
+  };
+
+  Rng rng(2023);
+  Graph g = RandomGnp(28, 0.2, &rng);
+
+  std::printf("E12: minimizing k in GEL^k   [slide 70]\n\n");
+  std::printf("%-18s %-8s %-8s %-14s %-14s %-10s %s\n", "expression",
+              "width", "min'd", "bound before", "bound after", "semantics",
+              "eval ms (before -> after)");
+  bool all_ok = true;
+  for (const Case& c : cases) {
+    ExprPtr original = *ParseExpr(c.text);
+    ExprPtr minimized = *MinimizeVariables(original);
+    ExprAnalysis before = Analyze(original);
+    ExprAnalysis after = Analyze(minimized);
+
+    // Semantics check on the sample graph.
+    Evaluator ev(g);
+    EvalTable ta = *ev.Eval(original);
+    EvalTable tb = *ev.Eval(minimized);
+    bool equal = ta.data.size() == tb.data.size();
+    for (size_t i = 0; equal && i < ta.data.size(); ++i)
+      equal = std::abs(ta.data[i] - tb.data[i]) < 1e-9;
+    if (!equal || after.width > before.width) all_ok = false;
+
+    double ms_before = EvalMillis(original, g);
+    double ms_after = EvalMillis(minimized, g);
+    std::printf("%-18s %-8zu %-8zu %-14s %-14s %-10s %.2f -> %.2f\n",
+                c.name.c_str(), before.width, after.width,
+                before.separation_bound.c_str(),
+                after.separation_bound.c_str(), equal ? "equal" : "DIFFER",
+                ms_before, ms_after);
+  }
+  std::printf(
+      "\nexpected: every k-hop chain collapses to width 2 (bound improves\n"
+      "from (k-1)-WL to color refinement; cost from n^k-shaped to n^2);\n"
+      "triangle counting stays at width 3.\n");
+  return all_ok ? 0 : 1;
+}

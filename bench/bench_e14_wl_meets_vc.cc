@@ -1,0 +1,144 @@
+// Experiment E14 (slide 28, "WL meet VC", Morris-Geerts-Tönshoff-Grohe):
+// separation power bounds generalization capacity. Any CR-bounded
+// hypothesis class (GNNs, WL kernels) must give CR-equivalent graphs the
+// SAME label, so its ability to fit random labels is capped by the number
+// of CR equivalence classes in the sample:
+//
+//   best achievable accuracy = (1/N) Σ_classes max(#pos, #neg).
+//
+// We build a dataset with deliberately many CR-duplicates (isomorphic
+// copies), assign random labels, and compare (i) the combinatorial
+// ceiling, (ii) a trained GNN's train accuracy, (iii) a WL-kernel ridge
+// fit. Both learners must stay at or below the ceiling; on a
+// duplicate-free dataset the ceiling is 1.0 and fitting succeeds.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "base/rng.h"
+#include "gnn/trainable.h"
+#include "graph/generators.h"
+#include "wl/color_refinement.h"
+#include "wl/kernel.h"
+
+using namespace gelc;
+
+namespace {
+
+// Fraction of examples a CR-respecting classifier can get right.
+double CrCeiling(const std::vector<Graph>& graphs,
+                 const std::vector<size_t>& labels) {
+  std::vector<const Graph*> ptrs;
+  for (const Graph& g : graphs) ptrs.push_back(&g);
+  CrColoring coloring = RunColorRefinement(ptrs, -1);
+  std::map<std::vector<uint64_t>, std::pair<size_t, size_t>> classes;
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    auto& [pos, neg] = classes[coloring.GraphSignature(i)];
+    (labels[i] == 1 ? pos : neg) += 1;
+  }
+  size_t best = 0;
+  for (const auto& [sig, counts] : classes)
+    best += std::max(counts.first, counts.second);
+  return static_cast<double>(best) / static_cast<double>(graphs.size());
+}
+
+struct FitResult {
+  double ceiling;
+  double gnn_fit;
+  double kernel_fit;
+};
+
+FitResult RunOnce(const std::vector<Graph>& graphs,
+                  const std::vector<size_t>& labels) {
+  FitResult r{};
+  r.ceiling = CrCeiling(graphs, labels);
+
+  GraphDataset ds;
+  ds.graphs = graphs;
+  ds.labels = labels;
+  ds.num_classes = 2;
+  TrainOptions opt;
+  opt.epochs = 200;
+  opt.learning_rate = 0.03;
+  opt.hidden_widths = {16, 16};
+  TrainReport report = *TrainGraphClassifier(ds, opt, /*train_fraction=*/1.0);
+  r.gnn_fit = report.train_accuracy;
+
+  std::vector<const Graph*> ptrs;
+  for (const Graph& g : graphs) ptrs.push_back(&g);
+  Matrix kernel = NormalizeKernel(*WlSubtreeKernelMatrix(ptrs, 3));
+  std::vector<size_t> pred =
+      *KernelRidgePredict(kernel, labels, graphs.size(), 1e-3);
+  size_t hits = 0;
+  for (size_t i = 0; i < graphs.size(); ++i)
+    if (pred[i] == labels[i]) ++hits;
+  r.kernel_fit = static_cast<double>(hits) /
+                 static_cast<double>(graphs.size());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2023);
+  std::printf("E14: separation power caps capacity (WL meets VC)"
+              "  [slide 28]\n\n");
+
+  // Dataset A: 40 graphs = 8 base graphs x 5 permuted copies each,
+  // random labels. Many CR-collisions -> low ceiling.
+  std::vector<Graph> dup_graphs;
+  std::vector<size_t> dup_labels;
+  for (int base = 0; base < 8; ++base) {
+    Graph g(8, 4);
+    Rng grng(100 + base);
+    for (size_t u = 0; u < 8; ++u) {
+      for (size_t v = u + 1; v < 8; ++v)
+        if (grng.NextBernoulli(0.35))
+          (void)g.AddEdge(static_cast<VertexId>(u),
+                          static_cast<VertexId>(v));
+      g.SetOneHotFeature(static_cast<VertexId>(u), grng.NextBounded(4));
+    }
+    for (int copy = 0; copy < 5; ++copy) {
+      dup_graphs.push_back(g.Permuted(rng.Permutation(8)).value());
+      dup_labels.push_back(rng.NextBounded(2));
+    }
+  }
+  FitResult dup = RunOnce(dup_graphs, dup_labels);
+
+  // Dataset B: 40 distinct graphs, random labels. Ceiling 1.0 (almost
+  // surely all CR classes are singletons).
+  std::vector<Graph> uniq_graphs;
+  std::vector<size_t> uniq_labels;
+  for (int i = 0; i < 40; ++i) {
+    Graph g(8, 4);
+    for (size_t u = 0; u < 8; ++u) {
+      for (size_t v = u + 1; v < 8; ++v)
+        if (rng.NextBernoulli(0.35))
+          (void)g.AddEdge(static_cast<VertexId>(u),
+                          static_cast<VertexId>(v));
+      g.SetOneHotFeature(static_cast<VertexId>(u), rng.NextBounded(4));
+    }
+    uniq_graphs.push_back(std::move(g));
+    uniq_labels.push_back(rng.NextBounded(2));
+  }
+  FitResult uniq = RunOnce(uniq_graphs, uniq_labels);
+
+  std::printf("%-26s %-12s %-12s %-12s\n", "dataset (random labels)",
+              "CR ceiling", "GNN fit", "WL-kernel fit");
+  std::printf("%-26s %-12.3f %-12.3f %-12.3f\n",
+              "8 graphs x 5 copies", dup.ceiling, dup.gnn_fit,
+              dup.kernel_fit);
+  std::printf("%-26s %-12.3f %-12.3f %-12.3f\n", "40 distinct graphs",
+              uniq.ceiling, uniq.gnn_fit, uniq.kernel_fit);
+  std::printf(
+      "\nexpected: on the duplicated dataset both CR-bounded learners are\n"
+      "capped by the combinatorial ceiling (< 1); on distinct graphs the\n"
+      "ceiling is 1 and fitting random labels succeeds — capacity tracks\n"
+      "the number of separable inputs, the essence of 'WL meets VC'.\n");
+
+  double eps = 1e-9;
+  bool ok = dup.gnn_fit <= dup.ceiling + eps &&
+            dup.kernel_fit <= dup.ceiling + eps && uniq.ceiling > 0.99 &&
+            uniq.kernel_fit > 0.9;
+  return ok ? 0 : 1;
+}

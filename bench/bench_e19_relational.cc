@@ -1,0 +1,77 @@
+// Experiment E19 (slide 74): "Weisfeiler and Leman Go Relational" —
+// multi-relation graphs carry structure that collapses away when relation
+// types are forgotten. We build pairs of 2-relation graphs whose
+// relation-collapsed union graphs are CR-equivalent and tabulate:
+//
+//   CR on collapsed graph | relational CR | relational-GNN probe
+//
+// Expected: the collapsed column reads "equiv" while both relational
+// columns separate — the relational rung sits strictly above plain CR.
+#include <cstdio>
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/relational.h"
+#include "wl/color_refinement.h"
+
+using namespace gelc;
+
+namespace {
+
+// Alternating vs adjacent relation coloring of an even cycle skeleton.
+std::pair<RelationalGraph, RelationalGraph> CyclePair(size_t n) {
+  RelationalGraph alt(n, 2, 1);
+  RelationalGraph adj(n, 2, 1);
+  for (size_t i = 0; i < n; ++i) {
+    VertexId u = static_cast<VertexId>(i);
+    VertexId v = static_cast<VertexId>((i + 1) % n);
+    (void)alt.AddEdge(i % 2, u, v);          // alternate relations
+    (void)adj.AddEdge(i < n / 2 ? 0 : 1, u, v);  // two arcs of each
+    alt.SetOneHotFeature(u, 0);
+    adj.SetOneHotFeature(u, 0);
+  }
+  return {std::move(alt), std::move(adj)};
+}
+
+bool RelationalGnnSeparates(const RelationalGraph& a,
+                            const RelationalGraph& b, uint64_t seed) {
+  Rng rng(seed);
+  for (int trial = 0; trial < 12; ++trial) {
+    RelationalGnn model =
+        *RelationalGnn::Random({1, 6, 6}, 2, Activation::kTanh, 0.8, &rng);
+    if ((*model.GraphEmbedding(a)).MaxAbsDiff(*model.GraphEmbedding(b)) >
+        1e-6) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E19: relational embeddings see more than collapsed graphs"
+              "  [slide 74]\n\n");
+  std::printf("%-18s %-16s %-16s %-16s\n", "pair", "collapsed CR",
+              "relational CR", "rel-GNN probe");
+  size_t expected = 0, got = 0;
+  for (size_t n : {4, 6, 8, 10}) {
+    auto [alt, adj] = CyclePair(n);
+    bool collapsed_equiv = CrEquivalentGraphs(alt.CollapseRelations(),
+                                              adj.CollapseRelations());
+    bool rel_equiv = RelationalCrEquivalent(alt, adj);
+    bool gnn_sep = RelationalGnnSeparates(alt, adj, 100 + n);
+    std::printf("%-18s %-16s %-16s %-16s\n",
+                ("alt vs adj C" + std::to_string(n)).c_str(),
+                collapsed_equiv ? "equiv" : "separated",
+                rel_equiv ? "equiv" : "separated",
+                gnn_sep ? "separated" : "equiv");
+    ++expected;
+    if (collapsed_equiv && !rel_equiv && gnn_sep) ++got;
+  }
+  std::printf(
+      "\nexpected pattern on all %zu pairs: collapsed CR blind, relational\n"
+      "CR and relational GNNs separate. achieved: %zu/%zu\n",
+      expected, got, expected);
+  return got == expected ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+// Experiment E1 (slides 26, 51-52): ρ(GNN 101) = ρ(color refinement).
+//
+// For every pair in the catalogue we compare the color-refinement verdict
+// with a randomized GNN-101 probe (many random-weight models). The paper
+// predicts exact agreement: a pair is GNN-separable iff CR separates it.
+#include <cstdio>
+
+#include "pair_catalogue.h"
+#include "separation/oracles.h"
+
+using namespace gelc;
+
+int main() {
+  std::vector<NamedPair> pairs = CuratedPairs();
+  std::vector<NamedPair> random_pairs = RandomPairs(10, 8, 2023);
+  for (NamedPair& p : random_pairs) pairs.push_back(std::move(p));
+
+  OraclePtr cr = MakeCrOracle();
+  OraclePtr gnn = MakeGnn101ProbeOracle(/*num_models=*/20, {8, 8},
+                                        /*tolerance=*/1e-6, /*seed=*/7);
+
+  std::printf("E1: rho(GNN 101) = rho(color refinement)   [slide 26]\n\n");
+  std::vector<PairVerdicts> rows;
+  size_t agreements = 0;
+  for (const NamedPair& p : pairs) {
+    rows.push_back(ComparePair(p.name, p.a, p.b, {cr.get(), gnn.get()}));
+    const auto& v = rows.back().verdicts;
+    if (v[0] == v[1]) ++agreements;
+  }
+  std::printf("%s\n", FormatVerdictTable(rows).c_str());
+  std::printf("agreement: %zu/%zu pairs  (paper predicts %zu/%zu)\n",
+              agreements, pairs.size(), pairs.size(), pairs.size());
+  return agreements == pairs.size() ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Experiment E2 (slide 27, Dell-Grohe-Rattan): G ≡_CR H iff
+// hom(T, G) = hom(T, H) for all trees T.
+//
+// For each pair: the CR verdict vs. equality of hom profiles over all
+// trees with <= m vertices, for growing m. Equal-profile columns must
+// converge to the CR column, and for CR-equivalent pairs every column
+// must read "equiv".
+#include <cstdio>
+
+#include "pair_catalogue.h"
+#include "separation/oracles.h"
+
+using namespace gelc;
+
+int main() {
+  std::vector<NamedPair> pairs = CuratedPairs();
+  std::vector<NamedPair> random_pairs = RandomPairs(8, 7, 4177);
+  for (NamedPair& p : random_pairs) pairs.push_back(std::move(p));
+
+  OraclePtr cr = MakeCrOracle();
+  OraclePtr hom4 = MakeTreeHomOracle(4);
+  OraclePtr hom6 = MakeTreeHomOracle(6);
+  OraclePtr hom8 = MakeTreeHomOracle(8);
+
+  std::printf("E2: CR-equivalence == equal tree hom profiles  [slide 27]\n\n");
+  std::vector<PairVerdicts> rows;
+  size_t violations = 0;
+  for (const NamedPair& p : pairs) {
+    rows.push_back(ComparePair(p.name, p.a, p.b,
+                               {cr.get(), hom4.get(), hom6.get(),
+                                hom8.get()}));
+    const auto& v = rows.back().verdicts;
+    // Soundness direction (holds for every tree set): CR equiv implies
+    // every hom column equiv.
+    if (v[0] == "equiv") {
+      for (size_t i = 1; i < v.size(); ++i)
+        if (v[i] != "equiv") ++violations;
+    }
+    // Monotonicity: once a column separates, larger tree sets keep
+    // separating.
+    for (size_t i = 1; i + 1 < v.size(); ++i)
+      if (v[i] == "separated" && v[i + 1] == "equiv") ++violations;
+  }
+  std::printf("%s\n", FormatVerdictTable(rows).c_str());
+  std::printf("soundness/monotonicity violations: %zu (paper predicts 0)\n",
+              violations);
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// P5: GEL evaluation cost versus variable width (the O(n^k) tables of
+// DESIGN.md) and the memoization ablation, plus normal-form execution as
+// the cheap alternative for the MPNN fragment.
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "core/compile_gnn.h"
+#include "core/eval.h"
+#include "core/normal_form.h"
+#include "graph/generators.h"
+
+namespace gelc {
+namespace {
+
+ExprPtr WidthKCountingExpr(size_t width) {
+  // agg over x1..x_{k-1} of 1 guarded by the path conjunction
+  // E(x0,x1)*E(x1,x2)*...*E(x_{k-2},x_{k-1}).
+  ExprPtr guard = *Expr::Edge(0, 1);
+  VarSet bound = VarBit(1);
+  for (Var v = 2; v < width; ++v) {
+    guard = *Expr::Apply(omega::Multiply(1),
+                         {guard, *Expr::Edge(v - 1, v)});
+    bound |= VarBit(v);
+  }
+  return *Expr::Aggregate(theta::Sum(1), bound, *Expr::Constant({1.0}),
+                          guard);
+}
+
+void BM_GelEvalByWidth(benchmark::State& state) {
+  Rng rng(7);
+  Graph g = RandomGnp(24, 0.2, &rng);
+  ExprPtr e = WidthKCountingExpr(state.range(0));
+  for (auto _ : state) {
+    Evaluator eval(g);
+    Result<Matrix> v = eval.EvalVertex(e);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_GelEvalByWidth)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_GelEvalMemoAblation(benchmark::State& state) {
+  Rng rng(7);
+  Graph g = RandomGnp(32, 0.2, &rng);
+  Gnn101Model model =
+      *Gnn101Model::Random({1, 6, 6, 6}, Activation::kTanh, 0.5, &rng);
+  ExprPtr e = *CompileGnn101ToGel(model);
+  bool memoize = state.range(0) != 0;
+  for (auto _ : state) {
+    Evaluator::Options options;
+    options.memoize = memoize;
+    Evaluator eval(g, options);
+    Result<Matrix> v = eval.EvalVertex(e);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetLabel(memoize ? "memo" : "no-memo");
+}
+BENCHMARK(BM_GelEvalMemoAblation)->Arg(1)->Arg(0);
+
+void BM_NormalFormVsDirect(benchmark::State& state) {
+  Rng rng(7);
+  Graph g = RandomGnp(48, 0.15, &rng);
+  Gnn101Model model =
+      *Gnn101Model::Random({1, 8, 8}, Activation::kTanh, 0.5, &rng);
+  ExprPtr e = *CompileGnn101ToGel(model);
+  bool layered = state.range(0) != 0;
+  NormalFormProgram program = *NormalFormProgram::Normalize(e);
+  for (auto _ : state) {
+    if (layered) {
+      Result<Matrix> v = program.Run(g);
+      benchmark::DoNotOptimize(v);
+    } else {
+      Evaluator eval(g);
+      Result<Matrix> v = eval.EvalVertex(e);
+      benchmark::DoNotOptimize(v);
+    }
+  }
+  state.SetLabel(layered ? "normal-form" : "direct-eval");
+}
+BENCHMARK(BM_NormalFormVsDirect)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace gelc

@@ -1,0 +1,63 @@
+// Shared catalogue of graph pairs used by the separation-power
+// experiments: curated WL-hard pairs plus seeded random pairs with a mix
+// of isomorphic / non-isomorphic cases.
+#ifndef GELC_BENCH_PAIR_CATALOGUE_H_
+#define GELC_BENCH_PAIR_CATALOGUE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "graph/generators.h"
+
+namespace gelc {
+
+struct NamedPair {
+  std::string name;
+  Graph a;
+  Graph b;
+};
+
+/// Curated pairs: the classic hierarchy witnesses.
+inline std::vector<NamedPair> CuratedPairs() {
+  std::vector<NamedPair> out;
+  auto [c6, two_c3] = Cr_HardPair();
+  out.push_back({"C6 vs C3+C3", std::move(c6), std::move(two_c3)});
+  auto [shr, rook] = Srg16Pair();
+  out.push_back({"Shrikhande vs Rook", std::move(shr), std::move(rook)});
+  out.push_back({"P4 vs Star3", PathGraph(4), StarGraph(3)});
+  out.push_back({"C5 vs C6", CycleGraph(5), CycleGraph(6)});
+  out.push_back({"Petersen vs C5xK2-ish",
+                 PetersenGraph(),
+                 CirculantGraph(10, {1, 5}).value()});
+  auto cfi5 = CfiPair(CycleGraph(5)).value();
+  out.push_back({"CFI(C5) twist", std::move(cfi5.first),
+                 std::move(cfi5.second)});
+  auto cfik4 = CfiPair(CompleteGraph(4)).value();
+  out.push_back({"CFI(K4) twist", std::move(cfik4.first),
+                 std::move(cfik4.second)});
+  return out;
+}
+
+/// Seeded random pairs on n vertices: half permuted copies (isomorphic),
+/// half independent draws.
+inline std::vector<NamedPair> RandomPairs(size_t count, size_t n,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NamedPair> out;
+  for (size_t i = 0; i < count; ++i) {
+    Graph a = RandomGnp(n, 0.4, &rng);
+    bool make_iso = (i % 2 == 0);
+    Graph b = make_iso ? a.Permuted(rng.Permutation(n)).value()
+                       : RandomGnp(n, 0.4, &rng);
+    out.push_back({"random#" + std::to_string(i) +
+                       (make_iso ? " (perm)" : " (indep)"),
+                   std::move(a), std::move(b)});
+  }
+  return out;
+}
+
+}  // namespace gelc
+
+#endif  // GELC_BENCH_PAIR_CATALOGUE_H_

@@ -1,0 +1,38 @@
+// Semi-supervised node classification (slide 8 motivation): predict the
+// subject of papers in a synthetic citation network from half the labels.
+#include <cstdio>
+
+#include "base/rng.h"
+#include "gnn/trainable.h"
+#include "graph/generators.h"
+
+using namespace gelc;
+
+int main() {
+  Rng rng(2023);
+  NodeDataset ds = SyntheticCitations(/*n=*/160, /*num_classes=*/4,
+                                      /*feature_noise=*/0.35, &rng);
+  std::printf("citation graph: %zu papers, %zu citations, %zu topics\n",
+              ds.graph.num_vertices(), ds.graph.num_edges(), ds.num_classes);
+  std::printf("revealed labels: %zu train / %zu test\n",
+              ds.train_nodes.size(), ds.test_nodes.size());
+
+  TrainOptions opt;
+  opt.epochs = 200;
+  opt.learning_rate = 0.02;
+  opt.hidden_widths = {16};
+  Result<TrainReport> report = TrainNodeClassifier(ds, opt);
+  if (!report.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nfinal loss: %.4f\n", report->loss_history.back());
+  std::printf("train accuracy: %.3f\ntest accuracy:  %.3f\n",
+              report->train_accuracy, report->test_accuracy);
+  std::printf(
+      "(features alone are %.0f%% noisy; the lift above that is what the\n"
+      " message-passing layers extract from the citation structure)\n",
+      100 * 0.35);
+  return report->test_accuracy > 0.7 ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Molecule property prediction (the paper's opening motivation, slide 7):
+// learn a graph embedding ξ : G -> {yes, no} by empirical risk
+// minimization on a synthetic molecule dataset where positives carry a
+// planted labelled ring motif.
+#include <cstdio>
+
+#include "base/rng.h"
+#include "gnn/trainable.h"
+#include "graph/generators.h"
+
+using namespace gelc;
+
+int main() {
+  Rng rng(2023);
+  GraphDataset ds = SyntheticMolecules(120, &rng);
+  std::printf("dataset: %zu molecules, %zu classes\n", ds.graphs.size(),
+              ds.num_classes);
+  std::printf("example molecule (class %zu):\n%s", ds.labels[1],
+              ds.graphs[1].ToString().c_str());
+
+  TrainOptions opt;
+  opt.epochs = 150;
+  opt.learning_rate = 0.02;
+  opt.hidden_widths = {16, 16};
+  Result<TrainReport> report = TrainGraphClassifier(ds, opt);
+  if (!report.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nERM training (%zu epochs):\n", opt.epochs);
+  for (size_t e = 0; e < report->loss_history.size(); e += 25) {
+    std::printf("  epoch %3zu  loss %.4f\n", e, report->loss_history[e]);
+  }
+  std::printf("train accuracy: %.3f\ntest accuracy:  %.3f\n",
+              report->train_accuracy, report->test_accuracy);
+  return report->test_accuracy > 0.7 ? 0 : 1;
+}

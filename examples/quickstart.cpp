@@ -1,0 +1,65 @@
+// Quickstart: build a labelled graph, run color refinement, evaluate a
+// hand-written GEL(Ω,Θ) expression, and inspect its static analysis.
+//
+// This walks the paper's pipeline end to end: graphs (slide 6), the
+// embedding language (slides 42-46), and the expressive-power bound you
+// can read off an expression (slide 35).
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "core/eval.h"
+#include "core/expr.h"
+#include "graph/generators.h"
+#include "wl/color_refinement.h"
+
+using namespace gelc;
+
+int main() {
+  // A 6-cycle vs two triangles: the classic pair color refinement cannot
+  // tell apart.
+  auto [c6, two_c3] = Cr_HardPair();
+  std::printf("C6 vs 2xC3 CR-equivalent: %s\n",
+              CrEquivalentGraphs(c6, two_c3) ? "yes" : "no");
+
+  // A GEL expression counting, per vertex, its number of neighbors:
+  //   deg(x0) = agg[sum]_{x1}( 1 | E(x0, x1) )
+  ExprPtr one = Expr::Constant({1.0}).value();
+  ExprPtr guard = Expr::Edge(0, 1).value();
+  ExprPtr degree =
+      Expr::Aggregate(theta::Sum(1), VarBit(1), one, guard).value();
+
+  // Triangle indicator with three variables: x0 lies on a triangle iff
+  //   agg[sum]_{x1,x2}( 1 | E(x0,x1) * E(x1,x2) * E(x2,x0) ) > 0.
+  ExprPtr e01 = Expr::Edge(0, 1).value();
+  ExprPtr e12 = Expr::Edge(1, 2).value();
+  ExprPtr e20 = Expr::Edge(2, 0).value();
+  ExprPtr tri_guard =
+      Expr::Apply(omega::Multiply(1),
+                  {Expr::Apply(omega::Multiply(1), {e01, e12}).value(), e20})
+          .value();
+  ExprPtr triangles =
+      Expr::Aggregate(theta::Sum(1), VarBit(1) | VarBit(2),
+                      Expr::Constant({1.0}).value(), tri_guard)
+          .value();
+
+  for (const ExprPtr& e : {degree, triangles}) {
+    ExprAnalysis a = Analyze(e);
+    std::printf("\nexpression: %s\n", e->ToString().c_str());
+    std::printf("  dim=%zu width=%zu (GEL^%zu)  mpnn-fragment=%s\n", a.dim,
+                a.width, a.width, a.is_mpnn_fragment ? "yes" : "no");
+    std::printf("  separation power bounded by: %s\n",
+                a.separation_bound.c_str());
+    Evaluator eval_c6(c6);
+    Evaluator eval_2c3(two_c3);
+    Matrix on_c6 = eval_c6.EvalVertex(e).value();
+    Matrix on_2c3 = eval_2c3.EvalVertex(e).value();
+    std::printf("  vertex 0 on C6: %g    vertex 0 on 2xC3: %g\n",
+                on_c6.At(0, 0), on_2c3.At(0, 0));
+  }
+
+  std::printf(
+      "\nNote how the width-3 triangle expression separates the pair while\n"
+      "every MPNN-fragment (width-2, guarded) expression cannot — exactly\n"
+      "the paper's ρ(MPNN) = ρ(color refinement) boundary.\n");
+  return 0;
+}

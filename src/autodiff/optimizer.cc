@@ -1,0 +1,51 @@
+#include "autodiff/optimizer.h"
+
+#include <cmath>
+
+namespace gelc {
+
+void Sgd::Register(Parameter* p) {
+  params_.push_back(p);
+  velocity_.emplace_back(p->value.rows(), p->value.cols());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (momentum_ != 0.0) {
+      velocity_[i] = velocity_[i] * momentum_ + p->grad;
+      p->value -= velocity_[i] * lr_;
+    } else {
+      p->value -= p->grad * lr_;
+    }
+  }
+}
+
+void Adam::Register(Parameter* p) {
+  params_.push_back(p);
+  m_.emplace_back(p->value.rows(), p->value.cols());
+  v_.emplace_back(p->value.rows(), p->value.cols());
+}
+
+void Adam::Step() {
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, t_);
+  double bc2 = 1.0 - std::pow(beta2_, t_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      for (size_t c = 0; c < p->value.cols(); ++c) {
+        double g = p->grad.At(r, c);
+        double& m = m_[i].At(r, c);
+        double& v = v_[i].At(r, c);
+        m = beta1_ * m + (1.0 - beta1_) * g;
+        v = beta2_ * v + (1.0 - beta2_) * g * g;
+        double mhat = m / bc1;
+        double vhat = v / bc2;
+        p->value.At(r, c) -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    }
+  }
+}
+
+}  // namespace gelc

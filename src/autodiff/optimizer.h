@@ -1,0 +1,66 @@
+// First-order optimizers for Parameters: SGD (with momentum) and Adam.
+//
+// These implement the "gradient descent like methods" the paper's ERM
+// formulation relies on (slide 20).
+#ifndef GELC_AUTODIFF_OPTIMIZER_H_
+#define GELC_AUTODIFF_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autodiff/tape.h"
+
+namespace gelc {
+
+/// Abstract interface: owns no parameters, updates those registered.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers a parameter; must be called before Step touches it.
+  virtual void Register(Parameter* p) = 0;
+  /// Applies one update using each parameter's accumulated gradient.
+  virtual void Step() = 0;
+
+  /// Zeroes every registered parameter's gradient.
+  void ZeroGrad() {
+    for (Parameter* p : params_) p->ZeroGrad();
+  }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0)
+      : lr_(lr), momentum_(momentum) {}
+
+  void Register(Parameter* p) override;
+  void Step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015).
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void Register(Parameter* p) override;
+  void Step() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+  std::vector<Matrix> m_, v_;
+};
+
+}  // namespace gelc
+
+#endif  // GELC_AUTODIFF_OPTIMIZER_H_

@@ -1,0 +1,280 @@
+#include "autodiff/tape.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace gelc {
+
+ValueId Tape::Push(Node n) {
+  n.grad = Matrix(n.value.rows(), n.value.cols());
+  nodes_.push_back(std::move(n));
+  return static_cast<ValueId>(nodes_.size() - 1);
+}
+
+ValueId Tape::Input(Matrix m) {
+  Node n;
+  n.op = Op::kInput;
+  n.value = std::move(m);
+  return Push(std::move(n));
+}
+
+ValueId Tape::Param(Parameter* p) {
+  GELC_CHECK(p != nullptr);
+  Node n;
+  n.op = Op::kParam;
+  n.param = p;
+  n.value = p->value;
+  return Push(std::move(n));
+}
+
+ValueId Tape::Add(ValueId a, ValueId b) {
+  Node n;
+  n.op = Op::kAdd;
+  n.a = a;
+  n.b = b;
+  n.value = nodes_[a].value + nodes_[b].value;
+  return Push(std::move(n));
+}
+
+ValueId Tape::Sub(ValueId a, ValueId b) {
+  Node n;
+  n.op = Op::kSub;
+  n.a = a;
+  n.b = b;
+  n.value = nodes_[a].value - nodes_[b].value;
+  return Push(std::move(n));
+}
+
+ValueId Tape::MatMul(ValueId a, ValueId b) {
+  Node n;
+  n.op = Op::kMatMul;
+  n.a = a;
+  n.b = b;
+  n.value = nodes_[a].value.MatMul(nodes_[b].value);
+  return Push(std::move(n));
+}
+
+ValueId Tape::Hadamard(ValueId a, ValueId b) {
+  Node n;
+  n.op = Op::kHadamard;
+  n.a = a;
+  n.b = b;
+  n.value = nodes_[a].value.Hadamard(nodes_[b].value);
+  return Push(std::move(n));
+}
+
+ValueId Tape::Scale(ValueId a, double s) {
+  Node n;
+  n.op = Op::kScale;
+  n.a = a;
+  n.scalar = s;
+  n.value = nodes_[a].value * s;
+  return Push(std::move(n));
+}
+
+ValueId Tape::Act(Activation act, ValueId a) {
+  Node n;
+  n.op = Op::kAct;
+  n.a = a;
+  n.act = act;
+  n.value = ApplyActivation(act, nodes_[a].value);
+  return Push(std::move(n));
+}
+
+ValueId Tape::AddRowBroadcast(ValueId a, ValueId bias) {
+  Node n;
+  n.op = Op::kAddRowBroadcast;
+  n.a = a;
+  n.b = bias;
+  n.value = nodes_[a].value.AddRowBroadcast(nodes_[bias].value);
+  return Push(std::move(n));
+}
+
+ValueId Tape::ConcatCols(ValueId a, ValueId b) {
+  Node n;
+  n.op = Op::kConcatCols;
+  n.a = a;
+  n.b = b;
+  n.value = nodes_[a].value.ConcatCols(nodes_[b].value);
+  return Push(std::move(n));
+}
+
+ValueId Tape::ColSums(ValueId a) {
+  Node n;
+  n.op = Op::kColSums;
+  n.a = a;
+  n.value = nodes_[a].value.ColSums();
+  return Push(std::move(n));
+}
+
+ValueId Tape::ColMax(ValueId a) {
+  GELC_CHECK(nodes_[a].value.rows() > 0);
+  Node n;
+  n.op = Op::kColMax;
+  n.a = a;
+  n.value = nodes_[a].value.ColMax();
+  // Record argmax row per column for the backward pass.
+  const Matrix& in = nodes_[a].value;
+  n.indices.resize(in.cols(), 0);
+  for (size_t j = 0; j < in.cols(); ++j) {
+    for (size_t i = 1; i < in.rows(); ++i)
+      if (in.At(i, j) > in.At(n.indices[j], j)) n.indices[j] = i;
+  }
+  return Push(std::move(n));
+}
+
+ValueId Tape::GatherRows(ValueId a, std::vector<size_t> rows) {
+  const Matrix& in = nodes_[a].value;
+  Node n;
+  n.op = Op::kGatherRows;
+  n.a = a;
+  n.value = Matrix(rows.size(), in.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    GELC_CHECK(rows[i] < in.rows());
+    for (size_t j = 0; j < in.cols(); ++j)
+      n.value.At(i, j) = in.At(rows[i], j);
+  }
+  n.indices = std::move(rows);
+  return Push(std::move(n));
+}
+
+ValueId Tape::SoftmaxCrossEntropy(ValueId logits, std::vector<size_t> labels) {
+  const Matrix& lg = nodes_[logits].value;
+  GELC_CHECK(labels.size() == lg.rows());
+  Matrix probs = RowSoftmax(lg);
+  double loss = 0.0;
+  for (size_t i = 0; i < lg.rows(); ++i) {
+    GELC_CHECK(labels[i] < lg.cols());
+    loss -= std::log(std::max(probs.At(i, labels[i]), 1e-300));
+  }
+  loss /= static_cast<double>(lg.rows());
+  Node n;
+  n.op = Op::kSoftmaxXent;
+  n.a = logits;
+  n.value = Matrix(1, 1, loss);
+  n.aux = std::move(probs);
+  n.indices = std::move(labels);
+  return Push(std::move(n));
+}
+
+ValueId Tape::Mse(ValueId pred, Matrix target) {
+  const Matrix& p = nodes_[pred].value;
+  GELC_CHECK(p.rows() == target.rows() && p.cols() == target.cols());
+  double loss = 0.0;
+  for (size_t i = 0; i < p.rows(); ++i)
+    for (size_t j = 0; j < p.cols(); ++j) {
+      double d = p.At(i, j) - target.At(i, j);
+      loss += d * d;
+    }
+  loss /= static_cast<double>(p.size());
+  Node n;
+  n.op = Op::kMse;
+  n.a = pred;
+  n.value = Matrix(1, 1, loss);
+  n.aux = std::move(target);
+  return Push(std::move(n));
+}
+
+void Tape::Backward(ValueId root) {
+  GELC_CHECK(root < nodes_.size());
+  GELC_CHECK(nodes_[root].value.rows() == 1 && nodes_[root].value.cols() == 1);
+  nodes_[root].grad = Matrix(1, 1, 1.0);
+  for (size_t idx = root + 1; idx-- > 0;) {
+    Node& n = nodes_[idx];
+    const Matrix& g = n.grad;
+    if (g.FrobeniusNorm() == 0.0 && n.op != Op::kParam) continue;
+    switch (n.op) {
+      case Op::kInput:
+        break;
+      case Op::kParam:
+        n.param->grad += g;
+        break;
+      case Op::kAdd:
+        nodes_[n.a].grad += g;
+        nodes_[n.b].grad += g;
+        break;
+      case Op::kSub:
+        nodes_[n.a].grad += g;
+        nodes_[n.b].grad -= g;
+        break;
+      case Op::kMatMul:
+        nodes_[n.a].grad += g.MatMul(nodes_[n.b].value.Transposed());
+        nodes_[n.b].grad += nodes_[n.a].value.Transposed().MatMul(g);
+        break;
+      case Op::kHadamard:
+        nodes_[n.a].grad += g.Hadamard(nodes_[n.b].value);
+        nodes_[n.b].grad += g.Hadamard(nodes_[n.a].value);
+        break;
+      case Op::kScale:
+        nodes_[n.a].grad += g * n.scalar;
+        break;
+      case Op::kAct: {
+        const Matrix& in = nodes_[n.a].value;
+        Matrix dg = g;
+        for (size_t i = 0; i < dg.rows(); ++i)
+          for (size_t j = 0; j < dg.cols(); ++j)
+            dg.At(i, j) *= ActivationGrad(n.act, in.At(i, j));
+        nodes_[n.a].grad += dg;
+        break;
+      }
+      case Op::kAddRowBroadcast:
+        nodes_[n.a].grad += g;
+        nodes_[n.b].grad += g.ColSums();
+        break;
+      case Op::kConcatCols: {
+        Matrix& ga = nodes_[n.a].grad;
+        Matrix& gb = nodes_[n.b].grad;
+        size_t da = ga.cols();
+        for (size_t i = 0; i < g.rows(); ++i) {
+          for (size_t j = 0; j < da; ++j) ga.At(i, j) += g.At(i, j);
+          for (size_t j = 0; j < gb.cols(); ++j)
+            gb.At(i, j) += g.At(i, da + j);
+        }
+        break;
+      }
+      case Op::kColSums: {
+        Matrix& ga = nodes_[n.a].grad;
+        for (size_t i = 0; i < ga.rows(); ++i)
+          for (size_t j = 0; j < ga.cols(); ++j) ga.At(i, j) += g.At(0, j);
+        break;
+      }
+      case Op::kColMax: {
+        Matrix& ga = nodes_[n.a].grad;
+        for (size_t j = 0; j < ga.cols(); ++j)
+          ga.At(n.indices[j], j) += g.At(0, j);
+        break;
+      }
+      case Op::kGatherRows: {
+        Matrix& ga = nodes_[n.a].grad;
+        for (size_t i = 0; i < n.indices.size(); ++i)
+          for (size_t j = 0; j < ga.cols(); ++j)
+            ga.At(n.indices[i], j) += g.At(i, j);
+        break;
+      }
+      case Op::kSoftmaxXent: {
+        double scale = g.At(0, 0) / static_cast<double>(n.aux.rows());
+        Matrix& ga = nodes_[n.a].grad;
+        for (size_t i = 0; i < n.aux.rows(); ++i) {
+          for (size_t j = 0; j < n.aux.cols(); ++j) {
+            double ind = (j == n.indices[i]) ? 1.0 : 0.0;
+            ga.At(i, j) += scale * (n.aux.At(i, j) - ind);
+          }
+        }
+        break;
+      }
+      case Op::kMse: {
+        double scale =
+            2.0 * g.At(0, 0) / static_cast<double>(n.aux.size());
+        Matrix& ga = nodes_[n.a].grad;
+        const Matrix& pred = nodes_[n.a].value;
+        for (size_t i = 0; i < pred.rows(); ++i)
+          for (size_t j = 0; j < pred.cols(); ++j)
+            ga.At(i, j) += scale * (pred.At(i, j) - n.aux.At(i, j));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace gelc

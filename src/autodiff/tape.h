@@ -1,0 +1,126 @@
+// Reverse-mode automatic differentiation over dense matrices.
+//
+// The paper's learning setting (slides 16-20) selects a hypothesis by
+// empirical risk minimization, "typically based on back propagation and
+// gradient descent like methods". This module provides exactly that: a
+// tape of matrix operations built during a forward pass, which Backward()
+// traverses in reverse to accumulate gradients into leaf Parameters.
+//
+// Usage:
+//   Parameter w(Matrix::RandomGaussian(4, 2, 0.1, &rng));
+//   Tape tape;
+//   ValueId x = tape.Input(features);
+//   ValueId h = tape.Act(Activation::kReLU, tape.MatMul(x, tape.Param(&w)));
+//   ValueId loss = tape.SoftmaxCrossEntropy(h, labels);
+//   tape.Backward(loss);           // accumulates into w.grad
+#ifndef GELC_AUTODIFF_TAPE_H_
+#define GELC_AUTODIFF_TAPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace gelc {
+
+/// A trainable leaf: value plus accumulated gradient of equal shape.
+struct Parameter {
+  explicit Parameter(Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad = Matrix(value.rows(), value.cols()); }
+
+  Matrix value;
+  Matrix grad;
+};
+
+/// Handle to a node on a Tape.
+using ValueId = uint32_t;
+
+/// A single-use computation tape. Build the forward graph, call Backward
+/// once, read gradients. Reuse by constructing a fresh Tape per step.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// A constant (no gradient flows into it).
+  ValueId Input(Matrix m);
+  /// A trainable leaf; Backward accumulates into p->grad. `p` must outlive
+  /// the tape.
+  ValueId Param(Parameter* p);
+
+  ValueId Add(ValueId a, ValueId b);
+  ValueId Sub(ValueId a, ValueId b);
+  ValueId MatMul(ValueId a, ValueId b);
+  ValueId Hadamard(ValueId a, ValueId b);
+  ValueId Scale(ValueId a, double s);
+  /// Entrywise activation.
+  ValueId Act(Activation act, ValueId a);
+  /// Adds a 1 x d bias row to every row of `a`.
+  ValueId AddRowBroadcast(ValueId a, ValueId bias);
+  /// [a | b] column concatenation.
+  ValueId ConcatCols(ValueId a, ValueId b);
+  /// Column sums: n x d -> 1 x d.
+  ValueId ColSums(ValueId a);
+  /// Column-wise max with subgradient routed to (first) argmax rows.
+  ValueId ColMax(ValueId a);
+  /// Keeps only the given rows (gather): n x d -> |rows| x d.
+  ValueId GatherRows(ValueId a, std::vector<size_t> rows);
+
+  /// Mean softmax cross-entropy of row logits against integer labels;
+  /// result is 1x1.
+  ValueId SoftmaxCrossEntropy(ValueId logits, std::vector<size_t> labels);
+  /// Mean squared error against a constant target; result is 1x1.
+  ValueId Mse(ValueId pred, Matrix target);
+
+  /// Runs reverse accumulation from `root` (must be 1x1).
+  void Backward(ValueId root);
+
+  const Matrix& value(ValueId id) const { return nodes_[id].value; }
+  const Matrix& grad(ValueId id) const { return nodes_[id].grad; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  enum class Op {
+    kInput,
+    kParam,
+    kAdd,
+    kSub,
+    kMatMul,
+    kHadamard,
+    kScale,
+    kAct,
+    kAddRowBroadcast,
+    kConcatCols,
+    kColSums,
+    kColMax,
+    kGatherRows,
+    kSoftmaxXent,
+    kMse,
+  };
+
+  struct Node {
+    Op op;
+    ValueId a = 0;
+    ValueId b = 0;
+    Matrix value;
+    Matrix grad;
+    // Op-specific payloads.
+    double scalar = 0.0;
+    Activation act = Activation::kIdentity;
+    std::vector<size_t> indices;  // labels / gather rows
+    Matrix aux;                   // cached softmax / target
+    Parameter* param = nullptr;
+  };
+
+  ValueId Push(Node n);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace gelc
+
+#endif  // GELC_AUTODIFF_TAPE_H_

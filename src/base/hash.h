@@ -1,0 +1,82 @@
+// Hashing utilities: 64-bit FNV-1a, hash combining, and an interning table
+// that maps arbitrary byte signatures to small dense canonical ids.
+//
+// Canonical ids are the backbone of the WL implementations: two vertices
+// (possibly in different graphs) receive the same color id iff their
+// refinement signatures are identical, which makes colorings directly
+// comparable across graphs.
+#ifndef GELC_BASE_HASH_H_
+#define GELC_BASE_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gelc {
+
+/// 64-bit FNV-1a over a byte range.
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
+
+/// Boost-style hash combining with 64-bit golden-ratio mixing.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+/// Hashes a vector of u64 values order-sensitively.
+inline uint64_t HashU64Span(const uint64_t* data, size_t n) {
+  uint64_t h = 0x2545F4914F6CDD1DULL;
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, data[i]);
+  return h;
+}
+
+/// Maps byte-string signatures to dense canonical ids 0,1,2,...
+///
+/// Ids are assigned in first-seen order; interning the same signature again
+/// returns the previously assigned id. A single Interner shared between two
+/// graphs yields colorings that can be compared by id equality.
+class Interner {
+ public:
+  Interner() = default;
+
+  /// Returns the canonical id for `signature`, assigning a fresh one if new.
+  uint64_t Intern(std::string_view signature) {
+    auto it = table_.find(std::string(signature));
+    if (it != table_.end()) return it->second;
+    uint64_t id = table_.size();
+    table_.emplace(std::string(signature), id);
+    return id;
+  }
+
+  /// Interns a sequence of u64 words (serialized little-endian).
+  uint64_t InternWords(const std::vector<uint64_t>& words) {
+    std::string buf(words.size() * sizeof(uint64_t), '\0');
+    if (!words.empty()) {
+      std::memcpy(buf.data(), words.data(), buf.size());
+    }
+    return Intern(buf);
+  }
+
+  /// Number of distinct signatures seen so far.
+  size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint64_t> table_;
+};
+
+}  // namespace gelc
+
+#endif  // GELC_BASE_HASH_H_

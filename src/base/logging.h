@@ -1,0 +1,28 @@
+// Minimal assertion / logging macros used across the library.
+//
+// GELC_CHECK is for programmer errors (violated invariants) and aborts;
+// recoverable conditions use Status/Result instead (see base/status.h).
+#ifndef GELC_BASE_LOGGING_H_
+#define GELC_BASE_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gelc {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "GELC_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace gelc
+
+#define GELC_CHECK(cond)                                    \
+  do {                                                      \
+    if (!(cond)) ::gelc::CheckFailed(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define GELC_DCHECK(cond) GELC_CHECK(cond)
+
+#endif  // GELC_BASE_LOGGING_H_

@@ -1,0 +1,99 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (graph generators, weight
+// initialization, training shuffles, separation-power sampling) draw from an
+// explicitly seeded Rng so that experiments reproduce bit-for-bit.
+#ifndef GELC_BASE_RNG_H_
+#define GELC_BASE_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace gelc {
+
+/// SplitMix64: tiny, fast, statistically solid 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1, u2;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    u2 = NextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Bernoulli with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// A uniformly random permutation of {0, ..., n-1}.
+  std::vector<size_t> Permutation(size_t n) {
+    std::vector<size_t> p(n);
+    for (size_t i = 0; i < n; ++i) p[i] = i;
+    Shuffle(&p);
+    return p;
+  }
+
+  /// Derives an independent child generator (for parallel components).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  uint64_t state_;
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace gelc
+
+#endif  // GELC_BASE_RNG_H_

@@ -1,0 +1,26 @@
+// Small string helpers shared across the library.
+#ifndef GELC_BASE_STRINGS_H_
+#define GELC_BASE_STRINGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace gelc {
+
+/// Formats a double with enough digits to round-trip exactly through
+/// strtod (shortest form up to 17 significant digits).
+inline std::string FormatDouble(double x) {
+  char buf[40];
+  // %.17g always round-trips; try shorter forms first for readability.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, x);
+    if (std::strtod(buf, nullptr) == x) return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+}  // namespace gelc
+
+#endif  // GELC_BASE_STRINGS_H_

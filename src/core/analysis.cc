@@ -1,0 +1,100 @@
+#include "core/analysis.h"
+
+namespace gelc {
+
+size_t VariableWidth(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  return VarSetSize(e->all_vars());
+}
+
+namespace {
+
+// Recursive fragment check. `in_guard_position` is true when `e` is the
+// guard child of an aggregate (where edge atoms are permitted).
+Status CheckMpnnRec(const ExprPtr& e, bool in_guard_position) {
+  if (e == nullptr) return Status::InvalidArgument("null expression");
+  if (e->all_vars() & ~(VarBit(0) | VarBit(1))) {
+    return Status::FailedPrecondition(
+        "uses variables beyond x0, x1: " + VarSetToString(e->all_vars()));
+  }
+  switch (e->kind()) {
+    case Expr::Kind::kLabel:
+    case Expr::Kind::kConst:
+      return Status::OK();
+    case Expr::Kind::kEdge:
+      if (!in_guard_position) {
+        return Status::FailedPrecondition(
+            "edge atom outside an aggregate guard: " + e->ToString());
+      }
+      return Status::OK();
+    case Expr::Kind::kCompare:
+      return Status::FailedPrecondition(
+          "equality atoms are not part of MPNN(Ω,Θ): " + e->ToString());
+    case Expr::Kind::kApply: {
+      for (const ExprPtr& c : e->children()) {
+        GELC_RETURN_NOT_OK(CheckMpnnRec(c, /*in_guard_position=*/false));
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kAggregate: {
+      if (VarSetSize(e->bound_vars()) != 1) {
+        return Status::FailedPrecondition(
+            "aggregate binds more than one variable: " + e->ToString());
+      }
+      Var bound = VarSetList(e->bound_vars())[0];
+      GELC_RETURN_NOT_OK(CheckMpnnRec(e->value(),
+                                      /*in_guard_position=*/false));
+      if (e->guard() == nullptr) {
+        // Global aggregation: the value may only mention the bound
+        // variable (the readout of slide 46).
+        if (e->value()->free_vars() & ~VarBit(bound)) {
+          return Status::FailedPrecondition(
+              "global aggregate whose value mentions a free variable: " +
+              e->ToString());
+        }
+        return Status::OK();
+      }
+      // Guarded aggregation: guard must be exactly E(free, bound) or
+      // E(bound, free).
+      const ExprPtr& guard = e->guard();
+      if (guard->kind() != Expr::Kind::kEdge) {
+        return Status::FailedPrecondition(
+            "aggregate guard is not an edge atom: " + e->ToString());
+      }
+      if (!VarSetContains(guard->free_vars(), bound)) {
+        return Status::FailedPrecondition(
+            "aggregate guard does not mention the bound variable: " +
+            e->ToString());
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status CheckMpnnFragment(const ExprPtr& e) {
+  return CheckMpnnRec(e, /*in_guard_position=*/false);
+}
+
+ExprAnalysis Analyze(const ExprPtr& e) {
+  ExprAnalysis a;
+  if (e == nullptr) return a;
+  a.dim = e->dim();
+  a.free_vars = e->free_vars();
+  a.width = VariableWidth(e);
+  a.aggregation_depth = e->AggregationDepth();
+  a.tree_size = e->TreeSize();
+  a.is_mpnn_fragment = IsMpnnFragment(e);
+  if (a.is_mpnn_fragment) {
+    a.separation_bound = "color refinement (= 1-WL)";
+  } else if (a.width >= 2) {
+    a.separation_bound = std::to_string(a.width - 1) + "-WL";
+  } else {
+    a.separation_bound = "trivial (single-vertex local)";
+  }
+  return a;
+}
+
+}  // namespace gelc

@@ -1,0 +1,58 @@
+// Static analysis of GEL(Ω,Θ) expressions.
+//
+// The central classification of the paper: an expression using k distinct
+// variables lives in GEL^k(Ω,Θ), and ρ(k-WL) = ρ(GEL^{k+1}) (slide 66);
+// the guarded two-variable fragment GGEL^2 — every aggregate binds one
+// variable, guarded by an edge atom linking it to the free variable — is
+// exactly MPNN(Ω,Θ) (slide 62), whose separation power is color
+// refinement (slides 51-52). "A new embedding method just needs to be cast
+// in the embedding language to know a bound on its expressive power"
+// (slide 35): these analyses implement that recipe mechanically.
+#ifndef GELC_CORE_ANALYSIS_H_
+#define GELC_CORE_ANALYSIS_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "core/expr.h"
+
+namespace gelc {
+
+/// The GEL^k width: number of distinct variables (free or bound) used.
+size_t VariableWidth(const ExprPtr& e);
+
+/// Per-expression summary used by reports and the gel_playground example.
+struct ExprAnalysis {
+  size_t dim = 0;
+  VarSet free_vars = 0;
+  size_t width = 0;             // GEL^k membership: smallest such k
+  size_t aggregation_depth = 0; // rounds of message passing, if guarded
+  size_t tree_size = 0;
+  bool is_mpnn_fragment = false;
+  /// Upper bound on separation power implied by the width (slide 66):
+  /// "(width-1)-WL" for width >= 2, "color refinement" for the guarded
+  /// 2-variable fragment.
+  std::string separation_bound;
+};
+
+ExprAnalysis Analyze(const ExprPtr& e);
+
+/// Checks membership in the MPNN(Ω,Θ) fragment (slides 42-46):
+///   - only variables x0 and x1 are used;
+///   - every aggregate binds exactly one variable and is either
+///     (a) guarded by exactly an edge atom connecting the bound variable
+///         to the other variable (neighborhood aggregation, slide 45), or
+///     (b) unguarded with the value's free variables contained in the
+///         bound one (global aggregation / readout, slide 46);
+///   - edge and equality atoms occur only as aggregate guards.
+/// Returns OK or an explanatory error.
+Status CheckMpnnFragment(const ExprPtr& e);
+
+/// Convenience wrapper around CheckMpnnFragment.
+inline bool IsMpnnFragment(const ExprPtr& e) {
+  return CheckMpnnFragment(e).ok();
+}
+
+}  // namespace gelc
+
+#endif  // GELC_CORE_ANALYSIS_H_

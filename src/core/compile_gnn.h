@@ -1,0 +1,50 @@
+// Casting GNN architectures as GEL(Ω,Θ) expressions — the paper's "plan of
+// action" (slide 35): view embedding methods as queries in the embedding
+// language, then read off their expressive-power bound from the language
+// fragment they land in.
+//
+// A GNN-101 model (slide 13) compiles to the guarded 2-variable MPNN
+// fragment; evaluating the expression coincides (up to floating-point
+// reassociation) with running the network, and Analyze() on the result
+// reports the color-refinement bound of slides 26/51.
+#ifndef GELC_CORE_COMPILE_GNN_H_
+#define GELC_CORE_COMPILE_GNN_H_
+
+#include "base/status.h"
+#include "core/expr.h"
+#include "gnn/gnn101.h"
+#include "gnn/mpnn.h"
+
+namespace gelc {
+
+/// Compiles a GNN-101 model into a vertex-embedding expression with free
+/// variable x0. Aggregations bind x1 guarded by E(x0, x1); layer t's
+/// update becomes act(linear(concat(ϕ^{t-1}(x0), agg(ϕ^{t-1}(x1))))).
+Result<ExprPtr> CompileGnn101ToGel(const Gnn101Model& model);
+
+/// Compiles the model's readout (slide 14) on top of the vertex
+/// expression: a closed graph-embedding expression. Errors if the model
+/// has no readout.
+Result<ExprPtr> CompileGnn101GraphToGel(const Gnn101Model& model);
+
+/// Compiles a GIN model to a vertex expression with free variable x0:
+/// h' = mlp((1 + eps) * h + Σ_{u ∈ N(v)} h_u).
+Result<ExprPtr> CompileGinToGel(const GinModel& model);
+
+/// Compiles a general MpnnModel (sum / mean / max aggregation) to a
+/// vertex expression: h' = update_mlp(concat(h, agg_θ(h_u | E))).
+/// Demonstrates slide 48: the zoo's layer definitions "translate
+/// naturally into expressions in our language" for every θ ∈ Θ.
+Result<ExprPtr> CompileMpnnToGel(const MpnnModel& model);
+
+/// The MpnnModel's readout on top (pool + MLP): a closed expression.
+/// Errors if the model has no readout.
+Result<ExprPtr> CompileMpnnGraphToGel(const MpnnModel& model);
+
+/// Compiles GraphSAGE (mean aggregator, linear update) to a vertex
+/// expression.
+Result<ExprPtr> CompileGraphSageToGel(const GraphSageModel& model);
+
+}  // namespace gelc
+
+#endif  // GELC_CORE_COMPILE_GNN_H_

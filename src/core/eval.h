@@ -1,0 +1,82 @@
+// Evaluation of GEL(Ω,Θ) expressions on a graph (the semantics ξ_ϕ of
+// slides 42-46, 59-61).
+//
+// An expression with free variables {x_{i_1}, ..., x_{i_p}} denotes a
+// p-vertex embedding ξ_ϕ : G -> (V^p -> R^d). On a fixed graph the
+// evaluator materializes it as a table over all n^p assignments.
+//
+// Naive evaluation of a width-k expression costs O(n^k) per aggregate
+// node; the evaluator memoizes subexpression tables by DAG-node identity
+// (ablation: Options::memoize, measured by bench_p5).
+#ifndef GELC_CORE_EVAL_H_
+#define GELC_CORE_EVAL_H_
+
+#include <map>
+#include <vector>
+
+#include "base/status.h"
+#include "core/expr.h"
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+
+namespace gelc {
+
+/// A materialized embedding table: values for every assignment of `vars`.
+struct EvalTable {
+  /// Free variables of the producing expression (ascending bit order).
+  VarSet vars = 0;
+  /// Vertex count of the graph the table was computed on.
+  size_t n = 0;
+  /// Value dimension d.
+  size_t dim = 0;
+  /// Row-major values: assignment (v_1, ..., v_p) of the ascending
+  /// variable list maps to flat index (v_1 * n + v_2) * n + ... * dim.
+  std::vector<double> data;
+
+  size_t num_assignments() const { return dim == 0 ? 0 : data.size() / dim; }
+  /// Pointer to the d values for a full assignment (indexed by variable
+  /// id; only entries for `vars` are read).
+  const double* At(const std::vector<VertexId>& assignment) const;
+  /// Flat index for an assignment.
+  size_t FlatIndex(const std::vector<VertexId>& assignment) const;
+};
+
+/// Evaluates expressions on one graph, memoizing subexpression tables.
+class Evaluator {
+ public:
+  struct Options {
+    bool memoize = true;
+    /// Refuses to materialize tables with more than this many entries.
+    size_t max_table_entries = 50'000'000;
+  };
+
+  /// The evaluator owns a copy of the graph, so temporaries may be passed
+  /// safely.
+  explicit Evaluator(Graph g);
+  Evaluator(Graph g, Options options);
+
+  /// Evaluates ϕ, returning its table (memoized across calls).
+  Result<EvalTable> Eval(const ExprPtr& e);
+
+  /// Evaluates a closed expression (graph embedding, slide 46).
+  Result<std::vector<double>> EvalClosed(const ExprPtr& e);
+  /// Evaluates a 1-free-variable expression as an n x d matrix (vertex
+  /// embedding).
+  Result<Matrix> EvalVertex(const ExprPtr& e);
+
+  const Graph& graph() const { return g_; }
+
+ private:
+  Result<EvalTable> EvalUncached(const ExprPtr& e);
+
+  Graph g_;
+  Options options_;
+  // Keyed by the shared node handle (pointer identity) — holding the
+  // ExprPtr keeps the node alive so a freed node's address can never be
+  // reused as a stale cache hit.
+  std::map<ExprPtr, EvalTable> memo_;
+};
+
+}  // namespace gelc
+
+#endif  // GELC_CORE_EVAL_H_

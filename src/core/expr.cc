@@ -1,0 +1,209 @@
+#include "core/expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace gelc {
+
+std::vector<Var> VarSetList(VarSet s) {
+  std::vector<Var> out;
+  for (Var v = 0; v < kMaxVariables; ++v)
+    if (VarSetContains(s, v)) out.push_back(v);
+  return out;
+}
+
+std::string VarSetToString(VarSet s) {
+  std::ostringstream os;
+  bool first = true;
+  for (Var v : VarSetList(s)) {
+    if (!first) os << ",";
+    os << "x" << v;
+    first = false;
+  }
+  return os.str();
+}
+
+Result<ExprPtr> Expr::Label(size_t label_index, Var v) {
+  if (v >= kMaxVariables) {
+    return Status::OutOfRange("variable index out of range");
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kLabel;
+  e->dim_ = 1;
+  e->free_ = e->all_ = VarBit(v);
+  e->label_index_ = label_index;
+  e->var_a_ = v;
+  return ExprPtr(e);
+}
+
+Result<ExprPtr> Expr::Edge(Var a, Var b) {
+  if (a >= kMaxVariables || b >= kMaxVariables) {
+    return Status::OutOfRange("variable index out of range");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("edge atom needs two distinct variables");
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kEdge;
+  e->dim_ = 1;
+  e->free_ = e->all_ = VarBit(a) | VarBit(b);
+  e->var_a_ = a;
+  e->var_b_ = b;
+  return ExprPtr(e);
+}
+
+Result<ExprPtr> Expr::Compare(Var a, Var b, CmpOp op) {
+  if (a >= kMaxVariables || b >= kMaxVariables) {
+    return Status::OutOfRange("variable index out of range");
+  }
+  if (a == b) {
+    return Status::InvalidArgument(
+        "comparison atom needs two distinct variables");
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kCompare;
+  e->dim_ = 1;
+  e->free_ = e->all_ = VarBit(a) | VarBit(b);
+  e->var_a_ = a;
+  e->var_b_ = b;
+  e->cmp_op_ = op;
+  return ExprPtr(e);
+}
+
+Result<ExprPtr> Expr::Constant(std::vector<double> value) {
+  if (value.empty()) {
+    return Status::InvalidArgument("constant must have dimension >= 1");
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kConst;
+  e->dim_ = value.size();
+  e->constant_ = std::move(value);
+  return ExprPtr(e);
+}
+
+Result<ExprPtr> Expr::Apply(OmegaPtr fn, std::vector<ExprPtr> children) {
+  if (fn == nullptr) return Status::InvalidArgument("null Ω function");
+  if (children.size() != fn->arity()) {
+    return Status::InvalidArgument(
+        "Apply: " + fn->name + " expects " + std::to_string(fn->arity()) +
+        " arguments, got " + std::to_string(children.size()));
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (children[i] == nullptr) {
+      return Status::InvalidArgument("Apply: null child");
+    }
+    if (children[i]->dim() != fn->arg_dims[i]) {
+      return Status::InvalidArgument(
+          "Apply: " + fn->name + " argument " + std::to_string(i) +
+          " has dimension " + std::to_string(children[i]->dim()) +
+          ", expected " + std::to_string(fn->arg_dims[i]));
+    }
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kApply;
+  e->dim_ = fn->out_dim;
+  for (const ExprPtr& c : children) {
+    e->free_ |= c->free_vars();
+    e->all_ |= c->all_vars();
+  }
+  e->fn_ = std::move(fn);
+  e->children_ = std::move(children);
+  return ExprPtr(e);
+}
+
+Result<ExprPtr> Expr::Aggregate(ThetaPtr agg, VarSet bound, ExprPtr value,
+                                ExprPtr guard) {
+  if (agg == nullptr) return Status::InvalidArgument("null Θ aggregate");
+  if (value == nullptr) return Status::InvalidArgument("null value");
+  if (bound == 0) {
+    return Status::InvalidArgument("aggregate must bind at least one variable");
+  }
+  if (bound >> kMaxVariables) {
+    return Status::OutOfRange("bound variable index out of range");
+  }
+  if (value->dim() != agg->in_dim) {
+    return Status::InvalidArgument(
+        "Aggregate: value dimension " + std::to_string(value->dim()) +
+        " does not match " + agg->name + " input dimension " +
+        std::to_string(agg->in_dim));
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kAggregate;
+  e->dim_ = agg->out_dim;
+  VarSet inner_free = value->free_vars();
+  VarSet inner_all = value->all_vars();
+  if (guard != nullptr) {
+    inner_free |= guard->free_vars();
+    inner_all |= guard->all_vars();
+  }
+  e->free_ = inner_free & ~bound;
+  e->all_ = inner_all | bound;
+  e->agg_ = std::move(agg);
+  e->bound_ = bound;
+  e->children_.push_back(std::move(value));
+  e->guard_ = std::move(guard);
+  return ExprPtr(e);
+}
+
+size_t Expr::TreeSize() const {
+  size_t s = 1;
+  for (const ExprPtr& c : children_) s += c->TreeSize();
+  if (guard_ != nullptr) s += guard_->TreeSize();
+  return s;
+}
+
+size_t Expr::AggregationDepth() const {
+  size_t child_max = 0;
+  for (const ExprPtr& c : children_)
+    child_max = std::max(child_max, c->AggregationDepth());
+  if (guard_ != nullptr)
+    child_max = std::max(child_max, guard_->AggregationDepth());
+  return child_max + (kind_ == Kind::kAggregate ? 1 : 0);
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kLabel:
+      os << "lab" << label_index_ << "(x" << var_a_ << ")";
+      break;
+    case Kind::kEdge:
+      os << "E(x" << var_a_ << ",x" << var_b_ << ")";
+      break;
+    case Kind::kCompare:
+      os << "1[x" << var_a_ << (cmp_op_ == CmpOp::kEq ? "=" : "!=") << "x"
+         << var_b_ << "]";
+      break;
+    case Kind::kConst: {
+      os << "[";
+      for (size_t i = 0; i < constant_.size(); ++i) {
+        if (i) os << ",";
+        os << FormatDouble(constant_[i]);
+      }
+      os << "]";
+      break;
+    }
+    case Kind::kApply: {
+      os << fn_->name << "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) os << ", ";
+        os << children_[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kAggregate: {
+      os << "agg[" << agg_->name << "]_{" << VarSetToString(bound_) << "}("
+         << children_[0]->ToString();
+      if (guard_ != nullptr) os << " | " << guard_->ToString();
+      os << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gelc

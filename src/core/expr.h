@@ -1,0 +1,136 @@
+// Expressions of the graph embedding language GEL(Ω,Θ) — the paper's core
+// contribution (slides 42-47, 57-63).
+//
+// Grammar (over variables x_0, x_1, ..., x_{kMaxVariables-1}):
+//
+//   atomic    ϕ ::= Lab_j(x_i)                       (dimension 1)
+//                 | E(x_i, x_j)                      (dimension 1)
+//                 | 1[x_i op x_j],  op ∈ {=, ≠}      (dimension 1)
+//                 | c  for c ∈ R^d                   (dimension d)
+//   function  ϕ ::= F(ϕ_1, ..., ϕ_l)   for F ∈ Ω
+//   aggregate ϕ ::= agg_θ y (ϕ_value | ϕ_guard)      for θ ∈ Θ
+//
+// Free variables and dimensions follow the paper: fv(F(ϕ_1..ϕ_l)) is the
+// union of the children's; agg binds the tuple y, removing it from the
+// free set; the guard is optional (global aggregation, slide 46).
+//
+// The guarded two-variable fragment in which every aggregate binds one
+// variable guarded by an edge atom is exactly MPNN(Ω,Θ) (slide 62:
+// "GGEL2 = MPNN"); see core/analysis.h for the fragment checker.
+//
+// Expressions are immutable DAG nodes built by validating factories that
+// return Result — dimension or variable errors surface as Status, never
+// as exceptions.
+#ifndef GELC_CORE_EXPR_H_
+#define GELC_CORE_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/omega.h"
+#include "core/theta.h"
+
+namespace gelc {
+
+/// Variables are small indices; a VarSet is a bitmask over them.
+using Var = uint32_t;
+using VarSet = uint32_t;
+constexpr Var kMaxVariables = 16;
+
+inline VarSet VarBit(Var v) { return VarSet{1} << v; }
+inline bool VarSetContains(VarSet s, Var v) { return (s >> v) & 1u; }
+inline size_t VarSetSize(VarSet s) {
+  return static_cast<size_t>(__builtin_popcount(s));
+}
+/// Ascending list of the variables in s.
+std::vector<Var> VarSetList(VarSet s);
+/// "x0,x2" style rendering.
+std::string VarSetToString(VarSet s);
+
+/// Comparison operator of equality atoms.
+enum class CmpOp { kEq, kNeq };
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable GEL(Ω,Θ) expression node.
+class Expr : public std::enable_shared_from_this<Expr> {
+ public:
+  enum class Kind { kLabel, kEdge, kCompare, kConst, kApply, kAggregate };
+
+  // -- Factories (validating) ----------------------------------------------
+
+  /// Lab_j(x_v): the j-th label component of the vertex bound to x_v.
+  static Result<ExprPtr> Label(size_t label_index, Var v);
+  /// E(x_a, x_b): 1 if there is an arc from x_a's vertex to x_b's.
+  static Result<ExprPtr> Edge(Var a, Var b);
+  /// 1[x_a op x_b].
+  static Result<ExprPtr> Compare(Var a, Var b, CmpOp op);
+  /// A constant vector (no free variables).
+  static Result<ExprPtr> Constant(std::vector<double> value);
+  /// F(children...): dimensions must match F's signature.
+  static Result<ExprPtr> Apply(OmegaPtr fn, std::vector<ExprPtr> children);
+  /// agg_θ bound (value | guard): `guard` may be nullptr (aggregate over
+  /// all assignments of the bound tuple). value's dimension must equal
+  /// θ.in_dim; `bound` must be non-empty.
+  static Result<ExprPtr> Aggregate(ThetaPtr agg, VarSet bound, ExprPtr value,
+                                   ExprPtr guard);
+
+  // -- Accessors ------------------------------------------------------------
+
+  Kind kind() const { return kind_; }
+  /// Output dimension d: the embedding maps into R^d.
+  size_t dim() const { return dim_; }
+  /// Free variables; the expression denotes a |fv|-vertex embedding.
+  VarSet free_vars() const { return free_; }
+  /// All variables appearing (free or bound) anywhere in the expression;
+  /// popcount of this is the GEL^k width (slide 62).
+  VarSet all_vars() const { return all_; }
+
+  size_t label_index() const { return label_index_; }
+  Var var_a() const { return var_a_; }
+  Var var_b() const { return var_b_; }
+  CmpOp cmp_op() const { return cmp_op_; }
+  const std::vector<double>& constant() const { return constant_; }
+  const OmegaPtr& fn() const { return fn_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ThetaPtr& agg() const { return agg_; }
+  VarSet bound_vars() const { return bound_; }
+  const ExprPtr& value() const { return children_[0]; }
+  /// Guard of an aggregate; nullptr for global aggregation.
+  const ExprPtr& guard() const { return guard_; }
+
+  /// Number of nodes in the expression tree (shared nodes counted once
+  /// per occurrence).
+  size_t TreeSize() const;
+  /// Maximum nesting depth of aggregate nodes (0 = aggregation-free).
+  size_t AggregationDepth() const;
+  /// Textual rendering, e.g. "agg[sum]_{x1}(lab0(x1) | E(x0,x1))".
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kConst;
+  size_t dim_ = 0;
+  VarSet free_ = 0;
+  VarSet all_ = 0;
+
+  size_t label_index_ = 0;
+  Var var_a_ = 0;
+  Var var_b_ = 0;
+  CmpOp cmp_op_ = CmpOp::kEq;
+  std::vector<double> constant_;
+  OmegaPtr fn_;
+  std::vector<ExprPtr> children_;  // Apply args; [0] = aggregate value
+  ThetaPtr agg_;
+  VarSet bound_ = 0;
+  ExprPtr guard_;
+};
+
+}  // namespace gelc
+
+#endif  // GELC_CORE_EXPR_H_

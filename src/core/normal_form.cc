@@ -1,0 +1,197 @@
+#include "core/normal_form.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+#include "core/analysis.h"
+
+namespace gelc {
+
+namespace {
+
+// Collects aggregate nodes by nesting depth (1-based stages).
+void CollectAggregates(const Expr* e,
+                       std::map<const Expr*, size_t>* depth_of) {
+  for (const ExprPtr& c : e->children()) CollectAggregates(c.get(), depth_of);
+  if (e->guard() != nullptr) CollectAggregates(e->guard().get(), depth_of);
+  if (e->kind() == Expr::Kind::kAggregate &&
+      depth_of->find(e) == depth_of->end()) {
+    (*depth_of)[e] = e->AggregationDepth();  // own depth includes itself
+  }
+}
+
+// Stored per-aggregate outputs during a run: one row per vertex for
+// neighborhood aggregates (one free variable), a single row for global
+// aggregates (closed).
+using AggStore = std::map<const Expr*, Matrix>;
+
+// Pointwise evaluation of a fragment expression under a (partial) variable
+// assignment, reading aggregate values from the store.
+void EvalPointwise(const Expr* e, const Graph& g,
+                   const std::vector<VertexId>& assignment,
+                   const AggStore& store, double* out) {
+  switch (e->kind()) {
+    case Expr::Kind::kLabel: {
+      Var v = e->var_a();
+      out[0] = g.features().At(assignment[v], e->label_index());
+      return;
+    }
+    case Expr::Kind::kEdge:
+      out[0] = g.HasEdge(assignment[e->var_a()], assignment[e->var_b()])
+                   ? 1.0
+                   : 0.0;
+      return;
+    case Expr::Kind::kCompare: {
+      bool eq = assignment[e->var_a()] == assignment[e->var_b()];
+      out[0] = (eq == (e->cmp_op() == CmpOp::kEq)) ? 1.0 : 0.0;
+      return;
+    }
+    case Expr::Kind::kConst: {
+      for (size_t j = 0; j < e->dim(); ++j) out[j] = e->constant()[j];
+      return;
+    }
+    case Expr::Kind::kApply: {
+      // Evaluate children into a contiguous scratch buffer.
+      size_t total = 0;
+      for (const ExprPtr& c : e->children()) total += c->dim();
+      std::vector<double> scratch(total);
+      std::vector<const double*> args;
+      size_t off = 0;
+      for (const ExprPtr& c : e->children()) {
+        EvalPointwise(c.get(), g, assignment, store, scratch.data() + off);
+        args.push_back(scratch.data() + off);
+        off += c->dim();
+      }
+      e->fn()->fn(args, out);
+      return;
+    }
+    case Expr::Kind::kAggregate: {
+      auto it = store.find(e);
+      GELC_CHECK(it != store.end() &&
+                 "aggregate read before its layer ran");
+      const Matrix& rows = it->second;
+      VarSet free = e->free_vars();
+      size_t row = 0;
+      if (free != 0) {
+        Var v = VarSetList(free)[0];
+        row = assignment[v];
+      }
+      for (size_t j = 0; j < e->dim(); ++j) out[j] = rows.At(row, j);
+      return;
+    }
+  }
+}
+
+// Computes one aggregate node for all vertices (or globally) into `store`.
+void RunAggregate(const Expr* e, const Graph& g, AggStore* store) {
+  size_t n = g.num_vertices();
+  size_t d = e->dim();
+  const ThetaAgg& theta = *e->agg();
+  Var bound = VarSetList(e->bound_vars())[0];
+  std::vector<VertexId> assignment(kMaxVariables, 0);
+  std::vector<double> value(theta.in_dim);
+
+  if (e->guard() == nullptr) {
+    // Global aggregation: one row.
+    Matrix acc_m(1, d);
+    double* acc = &acc_m.mutable_data()[0];
+    theta.init(acc);
+    size_t count = 0;
+    for (size_t w = 0; w < n; ++w) {
+      assignment[bound] = static_cast<VertexId>(w);
+      EvalPointwise(e->value().get(), g, assignment, *store, value.data());
+      theta.accumulate(acc, value.data());
+      ++count;
+    }
+    theta.finalize(acc, count);
+    store->emplace(e, std::move(acc_m));
+    return;
+  }
+
+  // Neighborhood aggregation guarded by E(a, b). Determine which guard
+  // position holds the free variable.
+  const Expr* guard = e->guard().get();
+  Var free_var = guard->var_a() == bound ? guard->var_b() : guard->var_a();
+  bool bound_is_target = guard->var_b() == bound;  // E(free, bound)
+  Matrix rows(n, d);
+  for (size_t v = 0; v < n; ++v) {
+    assignment[free_var] = static_cast<VertexId>(v);
+    double* acc = &rows.mutable_data()[v * d];
+    theta.init(acc);
+    size_t count = 0;
+    const std::vector<VertexId>& nbrs =
+        bound_is_target ? g.Neighbors(static_cast<VertexId>(v))
+                        : g.InNeighbors(static_cast<VertexId>(v));
+    for (VertexId u : nbrs) {
+      assignment[bound] = u;
+      EvalPointwise(e->value().get(), g, assignment, *store, value.data());
+      theta.accumulate(acc, value.data());
+      ++count;
+    }
+    theta.finalize(acc, count);
+  }
+  store->emplace(e, std::move(rows));
+}
+
+}  // namespace
+
+Result<NormalFormProgram> NormalFormProgram::Normalize(const ExprPtr& e) {
+  GELC_RETURN_NOT_OK(CheckMpnnFragment(e));
+  NormalFormProgram p;
+  p.root_ = e;
+  std::map<const Expr*, size_t> depth_of;
+  CollectAggregates(e.get(), &depth_of);
+  size_t max_depth = 0;
+  for (const auto& [node, depth] : depth_of)
+    max_depth = std::max(max_depth, depth);
+  p.stages_.resize(max_depth);
+  for (const auto& [node, depth] : depth_of)
+    p.stages_[depth - 1].push_back(node);
+  return p;
+}
+
+Result<Matrix> NormalFormProgram::Run(const Graph& g) const {
+  size_t free_count = VarSetSize(root_->free_vars());
+  if (free_count > 1) {
+    return Status::FailedPrecondition(
+        "normal-form programs produce vertex or graph embeddings only");
+  }
+  AggStore store;
+  for (const auto& stage : stages_) {
+    for (const Expr* node : stage) RunAggregate(node, g, &store);
+  }
+  size_t d = root_->dim();
+  if (free_count == 0) {
+    Matrix out(1, d);
+    std::vector<VertexId> assignment(kMaxVariables, 0);
+    EvalPointwise(root_.get(), g, assignment, store, &out.mutable_data()[0]);
+    return out;
+  }
+  Var v = VarSetList(root_->free_vars())[0];
+  size_t n = g.num_vertices();
+  Matrix out(n, d);
+  std::vector<VertexId> assignment(kMaxVariables, 0);
+  for (size_t w = 0; w < n; ++w) {
+    assignment[v] = static_cast<VertexId>(w);
+    EvalPointwise(root_.get(), g, assignment, store, &out.mutable_data()[w * d]);
+  }
+  return out;
+}
+
+size_t NormalFormProgram::num_aggregates() const {
+  size_t total = 0;
+  for (const auto& s : stages_) total += s.size();
+  return total;
+}
+
+std::string NormalFormProgram::Describe() const {
+  std::ostringstream os;
+  for (size_t t = 0; t < stages_.size(); ++t) {
+    os << "layer " << (t + 1) << ":";
+    for (const Expr* node : stages_[t]) os << " " << node->ToString();
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gelc

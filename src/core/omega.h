@@ -1,0 +1,77 @@
+// The function collection Ω of the embedding languages MPNN(Ω,Θ) and
+// GEL(Ω,Θ) (slides 44 and 60): typed functions R^{d_1+...+d_l} -> R^d that
+// expressions may apply pointwise to subexpression values.
+//
+// The paper's theorems quantify over choices of Ω — e.g. "Ω contains
+// concatenation, linear combinations and non-linear activation functions"
+// (slide 52), or "Ω is mlp-closed" (slide 53). The factories below provide
+// exactly those building blocks.
+#ifndef GELC_CORE_OMEGA_H_
+#define GELC_CORE_OMEGA_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "gnn/mlp.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace gelc {
+
+/// A typed function F : R^{d_1} x ... x R^{d_l} -> R^d from Ω.
+///
+/// `fn` receives one pointer per argument (arg i points at d_i doubles)
+/// and writes out_dim doubles to `out`.
+struct OmegaFn {
+  std::string name;
+  std::vector<size_t> arg_dims;
+  size_t out_dim = 0;
+  std::function<void(const std::vector<const double*>& args, double* out)> fn;
+
+  size_t arity() const { return arg_dims.size(); }
+  size_t total_in_dim() const {
+    size_t s = 0;
+    for (size_t d : arg_dims) s += d;
+    return s;
+  }
+};
+
+using OmegaPtr = std::shared_ptr<const OmegaFn>;
+
+namespace omega {
+
+/// Concatenation (d_1, ..., d_l) -> d_1 + ... + d_l.
+OmegaPtr Concat(const std::vector<size_t>& arg_dims);
+
+/// Linear map on the concatenated arguments: x -> x W + b, with
+/// W in R^{(Σ arg_dims) x out} and b in R^{1 x out}.
+Result<OmegaPtr> Linear(const std::vector<size_t>& arg_dims, Matrix w,
+                        Matrix b);
+
+/// Entrywise activation σ on a single argument of dimension d.
+OmegaPtr ActivationFn(Activation act, size_t d);
+
+/// Entrywise sum of two d-dimensional arguments.
+OmegaPtr Add(size_t d);
+
+/// Entrywise (Hadamard) product of two d-dimensional arguments.
+OmegaPtr Multiply(size_t d);
+
+/// Scalar multiple x -> c * x of one d-dimensional argument.
+OmegaPtr Scale(double c, size_t d);
+
+/// An MLP applied to the concatenated arguments (slide 53: mlp-closure).
+Result<OmegaPtr> FromMlp(const std::vector<size_t>& arg_dims, Mlp mlp);
+
+/// Projection of a single d-dimensional argument onto components
+/// [begin, begin + len).
+Result<OmegaPtr> Project(size_t d, size_t begin, size_t len);
+
+}  // namespace omega
+
+}  // namespace gelc
+
+#endif  // GELC_CORE_OMEGA_H_

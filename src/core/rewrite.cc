@@ -1,0 +1,133 @@
+#include "core/rewrite.h"
+
+#include <map>
+
+#include "base/logging.h"
+
+namespace gelc {
+
+Result<ExprPtr> SubstituteVariable(const ExprPtr& e, Var from, Var to) {
+  if (e == nullptr) return Status::InvalidArgument("null expression");
+  if (from == to) return e;
+  if (!VarSetContains(e->all_vars(), from)) return e;  // nothing to do
+  if (VarSetContains(e->all_vars(), to)) {
+    return Status::InvalidArgument(
+        "substitution target variable already occurs in expression");
+  }
+  switch (e->kind()) {
+    case Expr::Kind::kConst:
+      return e;
+    case Expr::Kind::kLabel:
+      return Expr::Label(e->label_index(), to);
+    case Expr::Kind::kEdge: {
+      Var a = e->var_a() == from ? to : e->var_a();
+      Var b = e->var_b() == from ? to : e->var_b();
+      return Expr::Edge(a, b);
+    }
+    case Expr::Kind::kCompare: {
+      Var a = e->var_a() == from ? to : e->var_a();
+      Var b = e->var_b() == from ? to : e->var_b();
+      return Expr::Compare(a, b, e->cmp_op());
+    }
+    case Expr::Kind::kApply: {
+      std::vector<ExprPtr> children;
+      for (const ExprPtr& c : e->children()) {
+        GELC_ASSIGN_OR_RETURN(ExprPtr nc, SubstituteVariable(c, from, to));
+        children.push_back(std::move(nc));
+      }
+      return Expr::Apply(e->fn(), std::move(children));
+    }
+    case Expr::Kind::kAggregate: {
+      if (VarSetContains(e->bound_vars(), from)) {
+        return Status::InvalidArgument(
+            "substituted variable is bound inside the expression");
+      }
+      GELC_ASSIGN_OR_RETURN(ExprPtr value,
+                            SubstituteVariable(e->value(), from, to));
+      ExprPtr guard;
+      if (e->guard() != nullptr) {
+        GELC_ASSIGN_OR_RETURN(guard,
+                              SubstituteVariable(e->guard(), from, to));
+      }
+      return Expr::Aggregate(e->agg(), e->bound_vars(), std::move(value),
+                             std::move(guard));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+namespace {
+
+// Scope-aware top-down renamer. `env[old] = new` covers every variable
+// free in `e`; binders pick the smallest index clashing with no *new*
+// name of a variable free in their scope — outer names not referenced
+// inside may be reused, which is what lets arbitrarily deep
+// message-passing chains alternate between two variables.
+Result<ExprPtr> RebuildRenamed(const ExprPtr& e,
+                               const std::map<Var, Var>& env) {
+  auto renamed = [&env](Var v) {
+    auto it = env.find(v);
+    GELC_CHECK(it != env.end());
+    return it->second;
+  };
+  switch (e->kind()) {
+    case Expr::Kind::kConst:
+      return e;
+    case Expr::Kind::kLabel:
+      return Expr::Label(e->label_index(), renamed(e->var_a()));
+    case Expr::Kind::kEdge:
+      return Expr::Edge(renamed(e->var_a()), renamed(e->var_b()));
+    case Expr::Kind::kCompare:
+      return Expr::Compare(renamed(e->var_a()), renamed(e->var_b()),
+                           e->cmp_op());
+    case Expr::Kind::kApply: {
+      std::vector<ExprPtr> children;
+      for (const ExprPtr& c : e->children()) {
+        GELC_ASSIGN_OR_RETURN(ExprPtr nc, RebuildRenamed(c, env));
+        children.push_back(std::move(nc));
+      }
+      return Expr::Apply(e->fn(), std::move(children));
+    }
+    case Expr::Kind::kAggregate: {
+      VarSet inner_free = e->value()->free_vars();
+      if (e->guard() != nullptr) inner_free |= e->guard()->free_vars();
+      VarSet outer_free = inner_free & ~e->bound_vars();
+      // New names already claimed inside this scope.
+      VarSet taken = 0;
+      for (Var v : VarSetList(outer_free)) taken |= VarBit(renamed(v));
+      std::map<Var, Var> inner_env = env;
+      VarSet new_bound = 0;
+      for (Var b : VarSetList(e->bound_vars())) {
+        Var pick = 0;
+        while (pick < kMaxVariables && VarSetContains(taken, pick)) ++pick;
+        if (pick >= kMaxVariables) {
+          return Status::Internal("variable budget exhausted in renaming");
+        }
+        taken |= VarBit(pick);
+        new_bound |= VarBit(pick);
+        inner_env[b] = pick;
+      }
+      GELC_ASSIGN_OR_RETURN(ExprPtr value,
+                            RebuildRenamed(e->value(), inner_env));
+      ExprPtr guard;
+      if (e->guard() != nullptr) {
+        GELC_ASSIGN_OR_RETURN(guard, RebuildRenamed(e->guard(), inner_env));
+      }
+      return Expr::Aggregate(e->agg(), new_bound, std::move(value),
+                             std::move(guard));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<ExprPtr> MinimizeVariables(const ExprPtr& e) {
+  if (e == nullptr) return Status::InvalidArgument("null expression");
+  // Free variables are the expression's interface and keep their names.
+  std::map<Var, Var> env;
+  for (Var v : VarSetList(e->free_vars())) env[v] = v;
+  return RebuildRenamed(e, env);
+}
+
+}  // namespace gelc

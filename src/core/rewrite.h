@@ -1,0 +1,41 @@
+// Expression rewriting: variable minimization (slide 70's open problem
+// #4, "finding the minimal k in GEL^k(Ω,Θ) needed for your method — the
+// lower k the better the [expressiveness] upper bound").
+//
+// Bound variables are scoped: an aggregate's binder may reuse any index
+// not free in its body. MinimizeVariables renames binders bottom-up and
+// greedily, which often reduces the variable width — e.g. the two-hop
+// expression
+//
+//   agg[sum]_{x1}( agg[sum]_{x2}( 1 | E(x1,x2) ) | E(x0,x1) )      width 3
+//
+// rewrites to
+//
+//   agg[sum]_{x1}( agg[sum]_{x0}( 1 | E(x1,x0) ) | E(x0,x1) )      width 2
+//
+// certifying (via CheckMpnnFragment) that the method is a plain MPNN and
+// therefore bounded by color refinement. Greedy renaming is a sound upper
+// bound: the result is always semantically equal (tests verify this by
+// evaluation) and its width never increases.
+#ifndef GELC_CORE_REWRITE_H_
+#define GELC_CORE_REWRITE_H_
+
+#include "base/status.h"
+#include "core/expr.h"
+
+namespace gelc {
+
+/// Capture-avoiding substitution of variable `from` by `to` in `e`.
+/// `from` must not be bound anywhere in `e`, and `to` must not occur in
+/// `e` at all (free or bound); violations return InvalidArgument.
+Result<ExprPtr> SubstituteVariable(const ExprPtr& e, Var from, Var to);
+
+/// Greedily renames every aggregate's bound variables, bottom-up, to the
+/// smallest indices not occurring in the (already-minimized) body. The
+/// result is semantically equal to `e`; its variable width is at most the
+/// original.
+Result<ExprPtr> MinimizeVariables(const ExprPtr& e);
+
+}  // namespace gelc
+
+#endif  // GELC_CORE_REWRITE_H_

@@ -1,0 +1,67 @@
+#include "core/theta.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gelc {
+namespace theta {
+
+ThetaPtr Sum(size_t d) {
+  auto t = std::make_shared<ThetaAgg>();
+  t->name = "sum";
+  t->in_dim = d;
+  t->out_dim = d;
+  t->init = [d](double* acc) { std::fill(acc, acc + d, 0.0); };
+  t->accumulate = [d](double* acc, const double* x) {
+    for (size_t j = 0; j < d; ++j) acc[j] += x[j];
+  };
+  t->finalize = [](double*, size_t) {};
+  return t;
+}
+
+ThetaPtr Mean(size_t d) {
+  auto t = std::make_shared<ThetaAgg>();
+  t->name = "mean";
+  t->in_dim = d;
+  t->out_dim = d;
+  t->init = [d](double* acc) { std::fill(acc, acc + d, 0.0); };
+  t->accumulate = [d](double* acc, const double* x) {
+    for (size_t j = 0; j < d; ++j) acc[j] += x[j];
+  };
+  t->finalize = [d](double* acc, size_t count) {
+    if (count == 0) return;
+    for (size_t j = 0; j < d; ++j) acc[j] /= static_cast<double>(count);
+  };
+  return t;
+}
+
+ThetaPtr Max(size_t d) {
+  auto t = std::make_shared<ThetaAgg>();
+  t->name = "max";
+  t->in_dim = d;
+  t->out_dim = d;
+  t->init = [d](double* acc) {
+    std::fill(acc, acc + d, -std::numeric_limits<double>::infinity());
+  };
+  t->accumulate = [d](double* acc, const double* x) {
+    for (size_t j = 0; j < d; ++j) acc[j] = std::max(acc[j], x[j]);
+  };
+  t->finalize = [d](double* acc, size_t count) {
+    if (count == 0) std::fill(acc, acc + d, 0.0);
+  };
+  return t;
+}
+
+ThetaPtr Count(size_t d) {
+  auto t = std::make_shared<ThetaAgg>();
+  t->name = "count";
+  t->in_dim = d;
+  t->out_dim = 1;
+  t->init = [](double* acc) { acc[0] = 0.0; };
+  t->accumulate = [](double* acc, const double*) { acc[0] += 1.0; };
+  t->finalize = [](double*, size_t) {};
+  return t;
+}
+
+}  // namespace theta
+}  // namespace gelc

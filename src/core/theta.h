@@ -1,0 +1,49 @@
+// The aggregation collection Θ of MPNN(Ω,Θ) / GEL(Ω,Θ): functions from
+// bags of vectors in R^{d_in} to R^{d_out} (slides 45, 61).
+//
+// Aggregates are exposed through an incremental interface (init /
+// accumulate / finalize) so the evaluator never materializes bags. The
+// paper's fine-grained analysis of aggregate choice (slide 69: "some might
+// say all you need is sum") is exercised by bench_e8.
+#ifndef GELC_CORE_THETA_H_
+#define GELC_CORE_THETA_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+
+namespace gelc {
+
+/// An aggregate θ : bags of R^{in_dim} -> R^{out_dim}.
+struct ThetaAgg {
+  std::string name;
+  size_t in_dim = 0;
+  size_t out_dim = 0;
+  /// Initializes the out_dim accumulator.
+  std::function<void(double* acc)> init;
+  /// Folds one bag element (in_dim doubles) into the accumulator.
+  std::function<void(double* acc, const double* x)> accumulate;
+  /// Finishes: receives the bag size (0 for empty bags).
+  std::function<void(double* acc, size_t count)> finalize;
+};
+
+using ThetaPtr = std::shared_ptr<const ThetaAgg>;
+
+namespace theta {
+
+/// Componentwise sum; empty bag -> zero vector.
+ThetaPtr Sum(size_t d);
+/// Componentwise mean; empty bag -> zero vector.
+ThetaPtr Mean(size_t d);
+/// Componentwise max; empty bag -> zero vector (by convention).
+ThetaPtr Max(size_t d);
+/// Bag cardinality (in_dim = d, out_dim = 1).
+ThetaPtr Count(size_t d);
+
+}  // namespace theta
+
+}  // namespace gelc
+
+#endif  // GELC_CORE_THETA_H_

@@ -1,0 +1,103 @@
+#include "gnn/fgnn.h"
+
+#include "base/logging.h"
+
+namespace gelc {
+
+Fgnn2Model::Fgnn2Model(std::vector<Fgnn2Layer> layers, Mlp readout)
+    : layers_(std::move(layers)), readout_(std::move(readout)) {
+  GELC_CHECK(!layers_.empty());
+  for (const Fgnn2Layer& l : layers_) {
+    GELC_CHECK(l.self.in_dim() == l.left.in_dim());
+    GELC_CHECK(l.self.in_dim() == l.right.in_dim());
+    GELC_CHECK(l.self.out_dim() == l.left.out_dim());
+    GELC_CHECK(l.self.out_dim() == l.right.out_dim());
+  }
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    GELC_CHECK(layers_[i].self.out_dim() == layers_[i + 1].self.in_dim());
+  }
+  GELC_CHECK(readout_.in_dim() == layers_.back().self.out_dim());
+  // Derived in Random(); reconstructed here for hand-built models.
+  graph_feature_dim_ = (layers_.front().self.in_dim() - 3) / 2;
+}
+
+Result<Fgnn2Model> Fgnn2Model::Random(const std::vector<size_t>& widths,
+                                      double weight_scale, Rng* rng) {
+  if (widths.size() < 2) {
+    return Status::InvalidArgument("need at least input and one layer width");
+  }
+  size_t pair_in = 2 * widths[0] + 3;
+  std::vector<Fgnn2Layer> layers;
+  size_t prev = pair_in;
+  for (size_t i = 1; i < widths.size(); ++i) {
+    Fgnn2Layer l;
+    for (Mlp* m : {&l.self, &l.left, &l.right}) {
+      GELC_ASSIGN_OR_RETURN(
+          *m, Mlp::Random({prev, widths[i]}, Activation::kTanh,
+                          Activation::kTanh, weight_scale, rng));
+    }
+    prev = widths[i];
+    layers.push_back(std::move(l));
+  }
+  GELC_ASSIGN_OR_RETURN(
+      Mlp readout, Mlp::Random({prev, prev}, Activation::kTanh,
+                               Activation::kIdentity, weight_scale, rng));
+  Fgnn2Model model(std::move(layers), std::move(readout));
+  model.graph_feature_dim_ = widths[0];
+  return model;
+}
+
+Result<Matrix> Fgnn2Model::PairEmbeddings(const Graph& g) const {
+  if (g.feature_dim() != graph_feature_dim_) {
+    return Status::InvalidArgument("graph feature dim does not match model");
+  }
+  size_t n = g.num_vertices();
+  size_t d0 = layers_.front().self.in_dim();
+  // Initial pair features: [feat(u) | feat(v) | onehot(atomic type)].
+  Matrix h(n * n, d0);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = 0; v < n; ++v) {
+      size_t row = u * n + v;
+      size_t off = 0;
+      for (size_t j = 0; j < g.feature_dim(); ++j)
+        h.At(row, off++) = g.features().At(u, j);
+      for (size_t j = 0; j < g.feature_dim(); ++j)
+        h.At(row, off++) = g.features().At(v, j);
+      if (u == v) {
+        h.At(row, off + 0) = 1.0;
+      } else if (g.HasEdge(static_cast<VertexId>(u),
+                           static_cast<VertexId>(v))) {
+        h.At(row, off + 1) = 1.0;
+      } else {
+        h.At(row, off + 2) = 1.0;
+      }
+    }
+  }
+  for (const Fgnn2Layer& layer : layers_) {
+    Matrix self = layer.self.Forward(h);
+    Matrix left = layer.left.Forward(h);
+    Matrix right = layer.right.Forward(h);
+    size_t d = self.cols();
+    Matrix next = self;
+    // next(u,v) += Σ_w left(u,w) ⊙ right(w,v).
+    for (size_t u = 0; u < n; ++u) {
+      for (size_t v = 0; v < n; ++v) {
+        double* out = &next.mutable_data()[(u * n + v) * d];
+        for (size_t w = 0; w < n; ++w) {
+          const double* lw = &left.data()[(u * n + w) * d];
+          const double* rw = &right.data()[(w * n + v) * d];
+          for (size_t j = 0; j < d; ++j) out[j] += lw[j] * rw[j];
+        }
+      }
+    }
+    h = std::move(next);
+  }
+  return h;
+}
+
+Result<Matrix> Fgnn2Model::GraphEmbedding(const Graph& g) const {
+  GELC_ASSIGN_OR_RETURN(Matrix h, PairEmbeddings(g));
+  return readout_.Forward(h.ColSums());
+}
+
+}  // namespace gelc

@@ -1,0 +1,58 @@
+// 2-FGNN: folklore graph neural networks on vertex pairs (slide 63's
+// "2-FGNNs" / slide 34's architecture zoo).
+//
+// State is a feature per ordered pair (u, v); one layer computes
+//
+//   h'(u,v) = MLP_0(h(u,v)) + Σ_w MLP_1(h(u,w)) ⊙ MLP_2(h(w,v)),
+//
+// mirroring the folklore 2-WL refinement (colors of (u,w) and (w,v)
+// aggregated over all w). Matching the paper's hierarchy, 2-FGNNs have
+// the separation power of folklore 2-WL: they separate C6 from C3+C3
+// (which MPNNs cannot) but not Shrikhande from the 4x4 rook's graph.
+#ifndef GELC_GNN_FGNN_H_
+#define GELC_GNN_FGNN_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "gnn/mlp.h"
+#include "graph/graph.h"
+
+namespace gelc {
+
+/// One folklore layer: the three MLPs above (equal output widths).
+struct Fgnn2Layer {
+  Mlp self;   // d_in -> d_out
+  Mlp left;   // d_in -> d_out
+  Mlp right;  // d_in -> d_out
+};
+
+/// A 2-FGNN with a sum-over-pairs readout.
+class Fgnn2Model {
+ public:
+  Fgnn2Model(std::vector<Fgnn2Layer> layers, Mlp readout);
+
+  /// Random model. widths[0] is the *graph* feature dimension; the pair
+  /// input dimension is derived as 2*widths[0] + 3 (features of both
+  /// endpoints plus the one-hot atomic type: equal / edge / non-edge).
+  static Result<Fgnn2Model> Random(const std::vector<size_t>& widths,
+                                   double weight_scale, Rng* rng);
+
+  /// Pair embeddings after all layers: an n^2 x d matrix, row u*n+v.
+  Result<Matrix> PairEmbeddings(const Graph& g) const;
+  /// Sum-pooled pair embeddings through the readout MLP: 1 x d_out.
+  Result<Matrix> GraphEmbedding(const Graph& g) const;
+
+  size_t graph_feature_dim() const { return graph_feature_dim_; }
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  size_t graph_feature_dim_ = 0;
+  std::vector<Fgnn2Layer> layers_;
+  Mlp readout_;
+};
+
+}  // namespace gelc
+
+#endif  // GELC_GNN_FGNN_H_

@@ -1,0 +1,53 @@
+// Graph attention networks (GAT, Veličković et al.) — one of the
+// architectures in the paper's zoo (slide 34) that still lands in
+// MPNN(Ω,Θ): attention computes a weighted *mean* over the neighborhood,
+// so ρ(GAT) is bounded by color refinement like every MPNN.
+//
+// Layer (single head):
+//   e_uv   = LeakyReLU( [h_u W | h_v W] · a )
+//   α_uv   = softmax_{u ∈ N(v)}(e_uv)
+//   h'_v   = act( Σ_{u ∈ N(v)} α_uv (h_u W) )
+// Vertices without neighbors get the zero vector.
+#ifndef GELC_GNN_GAT_H_
+#define GELC_GNN_GAT_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace gelc {
+
+/// One single-head attention layer.
+struct GatLayer {
+  Matrix w;         // d_in x d_out
+  Matrix attn_src;  // d_out x 1 (the first half of the attention vector a)
+  Matrix attn_dst;  // d_out x 1 (the second half)
+  double leaky_slope = 0.2;
+  Activation act = Activation::kTanh;
+};
+
+class GatModel {
+ public:
+  explicit GatModel(std::vector<GatLayer> layers);
+
+  static Result<GatModel> Random(const std::vector<size_t>& widths,
+                                 double weight_scale, Rng* rng);
+
+  Result<Matrix> VertexEmbeddings(const Graph& g) const;
+  /// Mean-pooled vertex embeddings (GATs are weighted-mean aggregators;
+  /// a mean readout keeps the class CR-bounded end to end).
+  Result<Matrix> GraphEmbedding(const Graph& g) const;
+
+  size_t input_dim() const { return layers_.front().w.rows(); }
+
+ private:
+  std::vector<GatLayer> layers_;
+};
+
+}  // namespace gelc
+
+#endif  // GELC_GNN_GAT_H_

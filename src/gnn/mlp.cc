@@ -1,0 +1,50 @@
+#include "gnn/mlp.h"
+
+#include "base/logging.h"
+
+namespace gelc {
+
+Mlp::Mlp(std::vector<MlpLayer> layers) : layers_(std::move(layers)) {
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    GELC_CHECK(layers_[i].w.cols() == layers_[i + 1].w.rows());
+  }
+  for (const MlpLayer& l : layers_) {
+    GELC_CHECK(l.b.rows() == 1 && l.b.cols() == l.w.cols());
+  }
+}
+
+Result<Mlp> Mlp::Random(const std::vector<size_t>& dims, Activation hidden_act,
+                        Activation out_act, double weight_scale, Rng* rng) {
+  if (dims.size() < 2) {
+    return Status::InvalidArgument("MLP needs at least in and out widths");
+  }
+  std::vector<MlpLayer> layers;
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    MlpLayer l;
+    l.w = Matrix::RandomGaussian(dims[i], dims[i + 1], weight_scale, rng);
+    l.b = Matrix::RandomGaussian(1, dims[i + 1], weight_scale, rng);
+    l.act = (i + 2 == dims.size()) ? out_act : hidden_act;
+    layers.push_back(std::move(l));
+  }
+  return Mlp(std::move(layers));
+}
+
+Matrix Mlp::Forward(const Matrix& x) const {
+  Matrix h = x;
+  for (const MlpLayer& l : layers_) {
+    h = ApplyActivation(l.act, h.MatMul(l.w).AddRowBroadcast(l.b));
+  }
+  return h;
+}
+
+size_t Mlp::in_dim() const {
+  GELC_CHECK(!layers_.empty());
+  return layers_.front().w.rows();
+}
+
+size_t Mlp::out_dim() const {
+  GELC_CHECK(!layers_.empty());
+  return layers_.back().w.cols();
+}
+
+}  // namespace gelc

@@ -1,0 +1,52 @@
+// Multilayer perceptrons over row-vector batches.
+//
+// MLPs are the "sufficiently rich" function family Ω the paper's
+// approximation theorems quantify over (slide 53: Ω is rich enough when it
+// is mlp-closed).
+#ifndef GELC_GNN_MLP_H_
+#define GELC_GNN_MLP_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace gelc {
+
+/// One dense layer: x -> act(x W + b), applied row-wise.
+struct MlpLayer {
+  Matrix w;  // in x out
+  Matrix b;  // 1 x out
+  Activation act = Activation::kIdentity;
+};
+
+/// A stack of dense layers. An empty Mlp is the identity.
+class Mlp {
+ public:
+  Mlp() = default;
+  explicit Mlp(std::vector<MlpLayer> layers);
+
+  /// Random Gaussian-initialized MLP with the given layer widths
+  /// (dims.size() >= 2); hidden layers use `hidden_act`, the last layer
+  /// `out_act`.
+  static Result<Mlp> Random(const std::vector<size_t>& dims,
+                            Activation hidden_act, Activation out_act,
+                            double weight_scale, Rng* rng);
+
+  /// Applies the stack to each row of x (n x in_dim -> n x out_dim).
+  Matrix Forward(const Matrix& x) const;
+
+  size_t in_dim() const;
+  size_t out_dim() const;
+  bool empty() const { return layers_.empty(); }
+  const std::vector<MlpLayer>& layers() const { return layers_; }
+
+ private:
+  std::vector<MlpLayer> layers_;
+};
+
+}  // namespace gelc
+
+#endif  // GELC_GNN_MLP_H_

@@ -1,0 +1,262 @@
+#include "gnn/mpnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace gelc {
+
+const char* AggregationName(Aggregation agg) {
+  switch (agg) {
+    case Aggregation::kSum:
+      return "sum";
+    case Aggregation::kMean:
+      return "mean";
+    case Aggregation::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+Matrix AggregateNeighbors(const Graph& g, const Matrix& f, Aggregation agg) {
+  GELC_CHECK(f.rows() == g.num_vertices());
+  size_t n = f.rows();
+  size_t d = f.cols();
+  Matrix out(n, d);
+  for (size_t v = 0; v < n; ++v) {
+    const auto& nbrs = g.Neighbors(static_cast<VertexId>(v));
+    if (nbrs.empty()) continue;
+    switch (agg) {
+      case Aggregation::kSum:
+      case Aggregation::kMean:
+        for (VertexId u : nbrs)
+          for (size_t j = 0; j < d; ++j) out.At(v, j) += f.At(u, j);
+        if (agg == Aggregation::kMean) {
+          for (size_t j = 0; j < d; ++j)
+            out.At(v, j) /= static_cast<double>(nbrs.size());
+        }
+        break;
+      case Aggregation::kMax:
+        for (size_t j = 0; j < d; ++j) out.At(v, j) = f.At(nbrs[0], j);
+        for (size_t i = 1; i < nbrs.size(); ++i)
+          for (size_t j = 0; j < d; ++j)
+            out.At(v, j) = std::max(out.At(v, j), f.At(nbrs[i], j));
+        break;
+    }
+  }
+  return out;
+}
+
+Matrix PoolVertices(const Matrix& f, Aggregation pool) {
+  switch (pool) {
+    case Aggregation::kSum:
+      return f.ColSums();
+    case Aggregation::kMean:
+      return f.ColMeans();
+    case Aggregation::kMax:
+      return f.rows() > 0 ? f.ColMax() : Matrix(1, f.cols());
+  }
+  return f.ColSums();
+}
+
+MpnnModel::MpnnModel(std::vector<MpnnLayer> layers)
+    : layers_(std::move(layers)) {
+  GELC_CHECK(!layers_.empty());
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    GELC_CHECK(layers_[i].update.out_dim() * 2 ==
+               layers_[i + 1].update.in_dim());
+  }
+  for (const MpnnLayer& l : layers_) {
+    GELC_CHECK(l.update.in_dim() % 2 == 0);
+  }
+}
+
+MpnnModel::MpnnModel(std::vector<MpnnLayer> layers, MpnnReadout readout)
+    : MpnnModel(std::move(layers)) {
+  GELC_CHECK(readout.mlp.in_dim() == layers_.back().update.out_dim());
+  readout_ = std::move(readout);
+}
+
+Result<MpnnModel> MpnnModel::Random(const std::vector<size_t>& widths,
+                                    Aggregation agg, double weight_scale,
+                                    Rng* rng) {
+  if (widths.size() < 2) {
+    return Status::InvalidArgument("need at least input and one layer width");
+  }
+  std::vector<MpnnLayer> layers;
+  for (size_t i = 0; i + 1 < widths.size(); ++i) {
+    MpnnLayer l;
+    l.agg = agg;
+    GELC_ASSIGN_OR_RETURN(
+        l.update,
+        Mlp::Random({2 * widths[i], widths[i + 1], widths[i + 1]},
+                    Activation::kReLU, Activation::kReLU, weight_scale, rng));
+    layers.push_back(std::move(l));
+  }
+  MpnnReadout readout;
+  // The readout pools with the same aggregator as the layers so that
+  // "mean-MPNN" / "max-MPNN" classes are pure (slide 69's comparison).
+  readout.pool = agg;
+  GELC_ASSIGN_OR_RETURN(
+      readout.mlp, Mlp::Random({widths.back(), widths.back()},
+                               Activation::kReLU, Activation::kIdentity,
+                               weight_scale, rng));
+  return MpnnModel(std::move(layers), std::move(readout));
+}
+
+Result<Matrix> MpnnModel::VertexEmbeddings(const Graph& g) const {
+  if (g.feature_dim() != input_dim()) {
+    return Status::InvalidArgument("graph feature dim does not match model");
+  }
+  Matrix f = g.features();
+  for (const MpnnLayer& l : layers_) {
+    Matrix agg = AggregateNeighbors(g, f, l.agg);
+    f = l.update.Forward(f.ConcatCols(agg));
+  }
+  return f;
+}
+
+Result<Matrix> MpnnModel::GraphEmbedding(const Graph& g) const {
+  if (!readout_.has_value()) {
+    return Status::FailedPrecondition("model has no readout");
+  }
+  GELC_ASSIGN_OR_RETURN(Matrix f, VertexEmbeddings(g));
+  return readout_->mlp.Forward(PoolVertices(f, readout_->pool));
+}
+
+GinModel::GinModel(std::vector<GinLayer> layers, Mlp readout_mlp)
+    : layers_(std::move(layers)), readout_mlp_(std::move(readout_mlp)) {
+  GELC_CHECK(!layers_.empty());
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    GELC_CHECK(layers_[i].mlp.out_dim() == layers_[i + 1].mlp.in_dim());
+  }
+  GELC_CHECK(readout_mlp_.in_dim() == layers_.back().mlp.out_dim());
+}
+
+Result<GinModel> GinModel::Random(const std::vector<size_t>& widths,
+                                  double weight_scale, Rng* rng) {
+  if (widths.size() < 2) {
+    return Status::InvalidArgument("need at least input and one layer width");
+  }
+  std::vector<GinLayer> layers;
+  for (size_t i = 0; i + 1 < widths.size(); ++i) {
+    GinLayer l;
+    l.eps = rng->NextUniform(-0.1, 0.1);
+    GELC_ASSIGN_OR_RETURN(
+        l.mlp,
+        Mlp::Random({widths[i], widths[i + 1], widths[i + 1]},
+                    Activation::kReLU, Activation::kReLU, weight_scale, rng));
+    layers.push_back(std::move(l));
+  }
+  GELC_ASSIGN_OR_RETURN(
+      Mlp readout, Mlp::Random({widths.back(), widths.back()},
+                               Activation::kReLU, Activation::kIdentity,
+                               weight_scale, rng));
+  return GinModel(std::move(layers), std::move(readout));
+}
+
+Result<Matrix> GinModel::VertexEmbeddings(const Graph& g) const {
+  if (g.feature_dim() != input_dim()) {
+    return Status::InvalidArgument("graph feature dim does not match model");
+  }
+  Matrix f = g.features();
+  for (const GinLayer& l : layers_) {
+    Matrix agg = AggregateNeighbors(g, f, Aggregation::kSum);
+    Matrix combined = f * (1.0 + l.eps) + agg;
+    f = l.mlp.Forward(combined);
+  }
+  return f;
+}
+
+Result<Matrix> GinModel::GraphEmbedding(const Graph& g) const {
+  GELC_ASSIGN_OR_RETURN(Matrix f, VertexEmbeddings(g));
+  return readout_mlp_.Forward(f.ColSums());
+}
+
+GcnModel::GcnModel(std::vector<Layer> layers) : layers_(std::move(layers)) {
+  GELC_CHECK(!layers_.empty());
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    GELC_CHECK(layers_[i].w.cols() == layers_[i + 1].w.rows());
+  }
+}
+
+Result<GcnModel> GcnModel::Random(const std::vector<size_t>& widths,
+                                  double weight_scale, Rng* rng) {
+  if (widths.size() < 2) {
+    return Status::InvalidArgument("need at least input and one layer width");
+  }
+  std::vector<Layer> layers;
+  for (size_t i = 0; i + 1 < widths.size(); ++i) {
+    Layer l;
+    l.w = Matrix::RandomGaussian(widths[i], widths[i + 1], weight_scale, rng);
+    layers.push_back(std::move(l));
+  }
+  return GcnModel(std::move(layers));
+}
+
+Result<Matrix> GcnModel::VertexEmbeddings(const Graph& g) const {
+  if (g.feature_dim() != layers_.front().w.rows()) {
+    return Status::InvalidArgument("graph feature dim does not match model");
+  }
+  size_t n = g.num_vertices();
+  // Normalized adjacency with self-loops: D̃^{-1/2} (A + I) D̃^{-1/2}.
+  Matrix a = g.AdjacencyMatrix();
+  for (size_t v = 0; v < n; ++v) a.At(v, v) += 1.0;
+  std::vector<double> dinv(n);
+  for (size_t v = 0; v < n; ++v) {
+    double deg = 0.0;
+    for (size_t u = 0; u < n; ++u) deg += a.At(v, u);
+    dinv[v] = 1.0 / std::sqrt(deg);
+  }
+  for (size_t v = 0; v < n; ++v)
+    for (size_t u = 0; u < n; ++u) a.At(v, u) *= dinv[v] * dinv[u];
+  Matrix f = g.features();
+  for (const Layer& l : layers_) {
+    f = ApplyActivation(l.act, a.MatMul(f).MatMul(l.w));
+  }
+  return f;
+}
+
+GraphSageModel::GraphSageModel(std::vector<Layer> layers)
+    : layers_(std::move(layers)) {
+  GELC_CHECK(!layers_.empty());
+  for (const Layer& l : layers_) {
+    GELC_CHECK(l.w.rows() % 2 == 0);
+    GELC_CHECK(l.b.rows() == 1 && l.b.cols() == l.w.cols());
+  }
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    GELC_CHECK(layers_[i].w.cols() * 2 == layers_[i + 1].w.rows());
+  }
+}
+
+Result<GraphSageModel> GraphSageModel::Random(
+    const std::vector<size_t>& widths, double weight_scale, Rng* rng) {
+  if (widths.size() < 2) {
+    return Status::InvalidArgument("need at least input and one layer width");
+  }
+  std::vector<Layer> layers;
+  for (size_t i = 0; i + 1 < widths.size(); ++i) {
+    Layer l;
+    l.w = Matrix::RandomGaussian(2 * widths[i], widths[i + 1], weight_scale,
+                                 rng);
+    l.b = Matrix::RandomGaussian(1, widths[i + 1], weight_scale, rng);
+    layers.push_back(std::move(l));
+  }
+  return GraphSageModel(std::move(layers));
+}
+
+Result<Matrix> GraphSageModel::VertexEmbeddings(const Graph& g) const {
+  if (g.feature_dim() * 2 != layers_.front().w.rows()) {
+    return Status::InvalidArgument("graph feature dim does not match model");
+  }
+  Matrix f = g.features();
+  for (const Layer& l : layers_) {
+    Matrix agg = AggregateNeighbors(g, f, Aggregation::kMean);
+    f = ApplyActivation(l.act,
+                        f.ConcatCols(agg).MatMul(l.w).AddRowBroadcast(l.b));
+  }
+  return f;
+}
+
+}  // namespace gelc

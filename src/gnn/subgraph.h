@@ -1,0 +1,47 @@
+// ID-aware GNNs (slide 71: "Id-aware GNNs", "subgraph networks"): run a
+// base MPNN once per vertex v on the graph with v individualized by an
+// extra marker feature, and read off v's own embedding.
+//
+// Marking breaks the symmetry color refinement is stuck on: ID-GNNs can
+// count cycles through a vertex and separate C6 from C3+C3 — strictly
+// above ρ(CR) — yet are not comparable to the full 2-WL level (they are
+// one instance of the finer-grained hierarchies of slide 71).
+#ifndef GELC_GNN_SUBGRAPH_H_
+#define GELC_GNN_SUBGRAPH_H_
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "gnn/gnn101.h"
+#include "graph/graph.h"
+
+namespace gelc {
+
+/// An identity-aware GNN built on a GNN-101 base whose input dimension is
+/// the graph feature dimension plus one marker column.
+class IdGnnModel {
+ public:
+  /// `base` must have input dim = graph_feature_dim + 1.
+  IdGnnModel(Gnn101Model base, size_t graph_feature_dim);
+
+  /// Random base network: widths[0] is the *graph* feature dim (the base
+  /// is created with widths[0] + 1 inputs).
+  static Result<IdGnnModel> Random(const std::vector<size_t>& widths,
+                                   Activation act, double weight_scale,
+                                   Rng* rng);
+
+  /// Vertex embeddings: row v comes from the run where v carries the
+  /// marker.
+  Result<Matrix> VertexEmbeddings(const Graph& g) const;
+  /// Sum-pooled identity-aware vertex embeddings (no extra readout MLP).
+  Result<Matrix> GraphEmbedding(const Graph& g) const;
+
+  size_t graph_feature_dim() const { return graph_feature_dim_; }
+
+ private:
+  Gnn101Model base_;
+  size_t graph_feature_dim_;
+};
+
+}  // namespace gelc
+
+#endif  // GELC_GNN_SUBGRAPH_H_

@@ -1,0 +1,257 @@
+#include "gnn/trainable.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace gelc {
+
+TrainableGnn::TrainableGnn(const Config& config, Rng* rng)
+    : config_(config) {
+  for (size_t i = 0; i + 1 < config.widths.size(); ++i) {
+    size_t din = config.widths[i];
+    size_t dout = config.widths[i + 1];
+    auto layer = std::make_unique<Layer>(Layer{
+        Parameter(Matrix::RandomGaussian(din, dout, config.init_scale, rng)),
+        Parameter(Matrix::RandomGaussian(din, dout, config.init_scale, rng)),
+        Parameter(Matrix::RandomGaussian(1, dout, config.init_scale, rng))});
+    layers_.push_back(std::move(layer));
+  }
+  size_t hidden = config.widths.back();
+  head_w_ = std::make_unique<Parameter>(
+      Matrix::RandomGaussian(hidden, config.num_outputs, config.init_scale,
+                             rng));
+  head_b_ = std::make_unique<Parameter>(
+      Matrix::RandomGaussian(1, config.num_outputs, config.init_scale, rng));
+  pair_head_w_ = std::make_unique<Parameter>(Matrix::RandomGaussian(
+      3 * hidden, config.num_outputs, config.init_scale, rng));
+  pair_head_b_ = std::make_unique<Parameter>(
+      Matrix::RandomGaussian(1, config.num_outputs, config.init_scale, rng));
+}
+
+Result<std::unique_ptr<TrainableGnn>> TrainableGnn::Create(
+    const Config& config) {
+  if (config.widths.size() < 2) {
+    return Status::InvalidArgument("need input and at least one hidden width");
+  }
+  if (config.num_outputs == 0) {
+    return Status::InvalidArgument("num_outputs must be positive");
+  }
+  Rng rng(config.seed);
+  return std::unique_ptr<TrainableGnn>(new TrainableGnn(config, &rng));
+}
+
+ValueId TrainableGnn::VertexEmbeddings(Tape* tape, const Graph& g) const {
+  GELC_CHECK(g.feature_dim() == config_.widths.front());
+  ValueId f = tape->Input(g.features());
+  ValueId a = tape->Input(g.AdjacencyMatrix());
+  for (const auto& layer : layers_) {
+    ValueId self = tape->MatMul(f, tape->Param(&layer->w1));
+    ValueId nbr = tape->MatMul(tape->MatMul(a, f), tape->Param(&layer->w2));
+    ValueId pre = tape->AddRowBroadcast(tape->Add(self, nbr),
+                                        tape->Param(&layer->b));
+    f = tape->Act(config_.act, pre);
+  }
+  return f;
+}
+
+ValueId TrainableGnn::NodeLogits(Tape* tape, const Graph& g) const {
+  ValueId z = VertexEmbeddings(tape, g);
+  return tape->AddRowBroadcast(tape->MatMul(z, tape->Param(head_w_.get())),
+                               tape->Param(head_b_.get()));
+}
+
+ValueId TrainableGnn::GraphLogits(Tape* tape, const Graph& g) const {
+  ValueId z = VertexEmbeddings(tape, g);
+  ValueId pooled = tape->ColSums(z);
+  return tape->AddRowBroadcast(
+      tape->MatMul(pooled, tape->Param(head_w_.get())),
+      tape->Param(head_b_.get()));
+}
+
+ValueId TrainableGnn::PairLogits(
+    Tape* tape, const Graph& g,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs) const {
+  ValueId z = VertexEmbeddings(tape, g);
+  std::vector<size_t> us, vs;
+  us.reserve(pairs.size());
+  vs.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) {
+    us.push_back(u);
+    vs.push_back(v);
+  }
+  ValueId zu = tape->GatherRows(z, us);
+  ValueId zv = tape->GatherRows(z, vs);
+  ValueId prod = tape->Hadamard(zu, zv);
+  ValueId feats = tape->ConcatCols(tape->ConcatCols(zu, zv), prod);
+  return tape->AddRowBroadcast(
+      tape->MatMul(feats, tape->Param(pair_head_w_.get())),
+      tape->Param(pair_head_b_.get()));
+}
+
+std::vector<Parameter*> TrainableGnn::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    out.push_back(&layer->w1);
+    out.push_back(&layer->w2);
+    out.push_back(&layer->b);
+  }
+  out.push_back(head_w_.get());
+  out.push_back(head_b_.get());
+  out.push_back(pair_head_w_.get());
+  out.push_back(pair_head_b_.get());
+  return out;
+}
+
+namespace {
+
+std::vector<size_t> WidthsFor(size_t input_dim,
+                              const std::vector<size_t>& hidden) {
+  std::vector<size_t> widths = {input_dim};
+  widths.insert(widths.end(), hidden.begin(), hidden.end());
+  return widths;
+}
+
+double Accuracy(const std::vector<size_t>& pred,
+                const std::vector<size_t>& truth) {
+  GELC_CHECK(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == truth[i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+}  // namespace
+
+Result<TrainReport> TrainNodeClassifier(const NodeDataset& data,
+                                        const TrainOptions& options) {
+  TrainableGnn::Config cfg;
+  cfg.widths = WidthsFor(data.graph.feature_dim(), options.hidden_widths);
+  cfg.num_outputs = data.num_classes;
+  cfg.seed = options.seed;
+  GELC_ASSIGN_OR_RETURN(std::unique_ptr<TrainableGnn> model,
+                        TrainableGnn::Create(cfg));
+  Adam opt(options.learning_rate);
+  for (Parameter* p : model->Parameters()) opt.Register(p);
+
+  std::vector<size_t> train_labels;
+  for (size_t v : data.train_nodes) train_labels.push_back(data.labels[v]);
+
+  TrainReport report;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    Tape tape;
+    ValueId logits = model->NodeLogits(&tape, data.graph);
+    ValueId train_logits = tape.GatherRows(logits, data.train_nodes);
+    ValueId loss = tape.SoftmaxCrossEntropy(train_logits, train_labels);
+    opt.ZeroGrad();
+    tape.Backward(loss);
+    opt.Step();
+    report.loss_history.push_back(tape.value(loss).At(0, 0));
+  }
+
+  // Evaluation pass.
+  Tape tape;
+  ValueId logits = model->NodeLogits(&tape, data.graph);
+  std::vector<size_t> pred = RowArgmax(tape.value(logits));
+  std::vector<size_t> train_pred, test_pred, test_labels;
+  for (size_t v : data.train_nodes) train_pred.push_back(pred[v]);
+  for (size_t v : data.test_nodes) {
+    test_pred.push_back(pred[v]);
+    test_labels.push_back(data.labels[v]);
+  }
+  report.train_accuracy = Accuracy(train_pred, train_labels);
+  report.test_accuracy = Accuracy(test_pred, test_labels);
+  return report;
+}
+
+Result<TrainReport> TrainGraphClassifier(const GraphDataset& data,
+                                         const TrainOptions& options,
+                                         double train_fraction) {
+  if (data.graphs.empty()) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  TrainableGnn::Config cfg;
+  cfg.widths = WidthsFor(data.graphs[0].feature_dim(), options.hidden_widths);
+  cfg.num_outputs = data.num_classes;
+  cfg.seed = options.seed;
+  GELC_ASSIGN_OR_RETURN(std::unique_ptr<TrainableGnn> model,
+                        TrainableGnn::Create(cfg));
+  Adam opt(options.learning_rate);
+  for (Parameter* p : model->Parameters()) opt.Register(p);
+
+  size_t train_count = static_cast<size_t>(
+      train_fraction * static_cast<double>(data.graphs.size()));
+  train_count = std::max<size_t>(1, std::min(train_count, data.graphs.size()));
+
+  TrainReport report;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    opt.ZeroGrad();
+    for (size_t i = 0; i < train_count; ++i) {
+      Tape tape;
+      ValueId logits = model->GraphLogits(&tape, data.graphs[i]);
+      ValueId loss = tape.SoftmaxCrossEntropy(logits, {data.labels[i]});
+      tape.Backward(loss);
+      epoch_loss += tape.value(loss).At(0, 0);
+    }
+    opt.Step();
+    report.loss_history.push_back(epoch_loss /
+                                  static_cast<double>(train_count));
+  }
+
+  std::vector<size_t> train_pred, train_truth, test_pred, test_truth;
+  for (size_t i = 0; i < data.graphs.size(); ++i) {
+    Tape tape;
+    ValueId logits = model->GraphLogits(&tape, data.graphs[i]);
+    size_t pred = RowArgmax(tape.value(logits))[0];
+    if (i < train_count) {
+      train_pred.push_back(pred);
+      train_truth.push_back(data.labels[i]);
+    } else {
+      test_pred.push_back(pred);
+      test_truth.push_back(data.labels[i]);
+    }
+  }
+  report.train_accuracy = Accuracy(train_pred, train_truth);
+  report.test_accuracy = Accuracy(test_pred, test_truth);
+  return report;
+}
+
+Result<TrainReport> TrainLinkPredictor(const LinkDataset& data,
+                                       const TrainOptions& options) {
+  if (data.train_pairs.empty()) {
+    return Status::InvalidArgument("empty link dataset");
+  }
+  TrainableGnn::Config cfg;
+  cfg.widths = WidthsFor(data.graph.feature_dim(), options.hidden_widths);
+  cfg.num_outputs = 2;
+  cfg.seed = options.seed;
+  GELC_ASSIGN_OR_RETURN(std::unique_ptr<TrainableGnn> model,
+                        TrainableGnn::Create(cfg));
+  Adam opt(options.learning_rate);
+  for (Parameter* p : model->Parameters()) opt.Register(p);
+
+  TrainReport report;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    Tape tape;
+    ValueId logits = model->PairLogits(&tape, data.graph, data.train_pairs);
+    ValueId loss = tape.SoftmaxCrossEntropy(logits, data.train_labels);
+    opt.ZeroGrad();
+    tape.Backward(loss);
+    opt.Step();
+    report.loss_history.push_back(tape.value(loss).At(0, 0));
+  }
+
+  auto eval = [&](const std::vector<std::pair<VertexId, VertexId>>& pairs,
+                  const std::vector<size_t>& labels) {
+    Tape tape;
+    ValueId logits = model->PairLogits(&tape, data.graph, pairs);
+    return Accuracy(RowArgmax(tape.value(logits)), labels);
+  };
+  report.train_accuracy = eval(data.train_pairs, data.train_labels);
+  report.test_accuracy = eval(data.test_pairs, data.test_labels);
+  return report;
+}
+
+}  // namespace gelc

@@ -1,0 +1,455 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/logging.h"
+
+namespace gelc {
+
+namespace {
+
+void MustAddEdge(Graph* g, VertexId u, VertexId v) {
+  Status s = g->AddEdge(u, v);
+  GELC_CHECK(s.ok());
+}
+
+}  // namespace
+
+Graph PathGraph(size_t n) {
+  Graph g = Graph::Unlabeled(n);
+  for (size_t i = 0; i + 1 < n; ++i)
+    MustAddEdge(&g, static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  return g;
+}
+
+Graph CycleGraph(size_t n) {
+  GELC_CHECK(n >= 3);
+  Graph g = PathGraph(n);
+  MustAddEdge(&g, static_cast<VertexId>(n - 1), 0);
+  return g;
+}
+
+Graph CompleteGraph(size_t n) {
+  Graph g = Graph::Unlabeled(n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = i + 1; j < n; ++j)
+      MustAddEdge(&g, static_cast<VertexId>(i), static_cast<VertexId>(j));
+  return g;
+}
+
+Graph CompleteBipartite(size_t a, size_t b) {
+  Graph g = Graph::Unlabeled(a + b);
+  for (size_t i = 0; i < a; ++i)
+    for (size_t j = 0; j < b; ++j)
+      MustAddEdge(&g, static_cast<VertexId>(i),
+                  static_cast<VertexId>(a + j));
+  return g;
+}
+
+Graph StarGraph(size_t n) {
+  Graph g = Graph::Unlabeled(n + 1);
+  for (size_t i = 1; i <= n; ++i)
+    MustAddEdge(&g, 0, static_cast<VertexId>(i));
+  return g;
+}
+
+Graph GridGraph(size_t rows, size_t cols) {
+  Graph g = Graph::Unlabeled(rows * cols);
+  auto id = [cols](size_t r, size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) MustAddEdge(&g, id(r, c), id(r, c + 1));
+      if (r + 1 < rows) MustAddEdge(&g, id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Result<Graph> CirculantGraph(size_t n, const std::vector<size_t>& offsets) {
+  if (n < 3) return Status::InvalidArgument("circulant needs n >= 3");
+  Graph g = Graph::Unlabeled(n);
+  for (size_t s : offsets) {
+    if (s == 0 || s >= n) {
+      return Status::InvalidArgument("circulant offset out of range");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      VertexId u = static_cast<VertexId>(i);
+      VertexId v = static_cast<VertexId>((i + s) % n);
+      if (u == v) continue;
+      Status st = g.AddEdge(u, v);
+      // Offsets s and n-s generate the same edges; tolerate duplicates.
+      if (!st.ok() && st.code() != StatusCode::kAlreadyExists) return st;
+    }
+  }
+  return g;
+}
+
+Graph PetersenGraph() {
+  Graph g = Graph::Unlabeled(10);
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  for (size_t i = 0; i < 5; ++i) {
+    MustAddEdge(&g, static_cast<VertexId>(i),
+                static_cast<VertexId>((i + 1) % 5));
+    MustAddEdge(&g, static_cast<VertexId>(5 + i),
+                static_cast<VertexId>(5 + (i + 2) % 5));
+    MustAddEdge(&g, static_cast<VertexId>(i), static_cast<VertexId>(5 + i));
+  }
+  return g;
+}
+
+Result<Graph> HypercubeGraph(size_t d) {
+  if (d < 1 || d > 16) {
+    return Status::InvalidArgument("hypercube dimension must be in [1, 16]");
+  }
+  size_t n = size_t{1} << d;
+  Graph g = Graph::Unlabeled(n);
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t bit = 0; bit < d; ++bit) {
+      size_t u = v ^ (size_t{1} << bit);
+      if (u > v) MustAddEdge(&g, static_cast<VertexId>(v),
+                             static_cast<VertexId>(u));
+    }
+  }
+  return g;
+}
+
+Result<Graph> KneserGraph(size_t n, size_t k) {
+  if (k == 0 || n < 2 * k) {
+    return Status::InvalidArgument("Kneser graph needs n >= 2k, k >= 1");
+  }
+  if (n > 20) return Status::OutOfRange("Kneser ground set limited to 20");
+  // Enumerate k-subsets of [n] as bitmasks.
+  std::vector<uint32_t> subsets;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<size_t>(__builtin_popcount(mask)) == k)
+      subsets.push_back(mask);
+  }
+  if (subsets.size() > 10000) {
+    return Status::OutOfRange("Kneser graph too large");
+  }
+  Graph g = Graph::Unlabeled(subsets.size());
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    for (size_t j = i + 1; j < subsets.size(); ++j) {
+      if ((subsets[i] & subsets[j]) == 0) {
+        MustAddEdge(&g, static_cast<VertexId>(i), static_cast<VertexId>(j));
+      }
+    }
+  }
+  return g;
+}
+
+std::pair<Graph, Graph> Cr_HardPair() {
+  Graph c6 = CycleGraph(6);
+  Graph c3a = CycleGraph(3);
+  Graph c3b = CycleGraph(3);
+  Result<Graph> two_c3 = Graph::DisjointUnion(c3a, c3b);
+  GELC_CHECK(two_c3.ok());
+  return {std::move(c6), std::move(two_c3).value()};
+}
+
+std::pair<Graph, Graph> Srg16Pair() {
+  // Vertices are (i, j) in Z4 x Z4, id = 4*i + j.
+  auto id = [](size_t i, size_t j) {
+    return static_cast<VertexId>(4 * (i % 4) + (j % 4));
+  };
+  // Shrikhande: (i,j) ~ (i,j) + {(0,±1), (±1,0), (±1,±1 same sign)}.
+  Graph shrikhande = Graph::Unlabeled(16);
+  const int dirs[3][2] = {{0, 1}, {1, 0}, {1, 1}};
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      for (const auto& d : dirs) {
+        VertexId u = id(i, j);
+        VertexId v = id(i + d[0], j + d[1]);
+        if (!shrikhande.HasEdge(u, v)) MustAddEdge(&shrikhande, u, v);
+      }
+    }
+  }
+  // 4x4 rook's graph: (i,j) ~ (i',j') iff same row or same column.
+  Graph rook = Graph::Unlabeled(16);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      for (size_t jj = j + 1; jj < 4; ++jj)
+        MustAddEdge(&rook, id(i, j), id(i, jj));
+      for (size_t ii = i + 1; ii < 4; ++ii)
+        MustAddEdge(&rook, id(i, j), id(ii, j));
+    }
+  }
+  return {std::move(shrikhande), std::move(rook)};
+}
+
+Result<std::pair<Graph, Graph>> CfiPair(const Graph& base) {
+  if (base.directed()) {
+    return Status::InvalidArgument("CFI base must be undirected");
+  }
+  if (base.ConnectedComponents().size() != 1) {
+    return Status::InvalidArgument("CFI base must be connected");
+  }
+  size_t n = base.num_vertices();
+  // Collect undirected edges, assign ids.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::map<std::pair<VertexId, VertexId>, size_t> edge_id;
+  for (size_t u = 0; u < n; ++u) {
+    for (VertexId v : base.Neighbors(static_cast<VertexId>(u))) {
+      if (v < u) continue;
+      edge_id[{static_cast<VertexId>(u), v}] = edges.size();
+      edges.push_back({static_cast<VertexId>(u), v});
+    }
+  }
+  size_t m = edges.size();
+  if (m == 0) return Status::InvalidArgument("CFI base must have edges");
+
+  // Incident edge ids per base vertex.
+  std::vector<std::vector<size_t>> inc(n);
+  for (size_t e = 0; e < m; ++e) {
+    inc[edges[e].first].push_back(e);
+    inc[edges[e].second].push_back(e);
+  }
+
+  // Builds one CFI companion. `twist_vertex` < n selects the base vertex
+  // whose gadget uses odd-parity subsets (the "twist"); pass n for none.
+  auto build = [&](size_t twist_vertex) -> Graph {
+    // Vertex layout: first 2m edge vertices (e0 at 2e, e1 at 2e+1), then
+    // gadget vertices.
+    size_t total = 2 * m;
+    std::vector<std::vector<std::pair<size_t, uint64_t>>> gadget(n);
+    for (size_t v = 0; v < n; ++v) {
+      size_t deg = inc[v].size();
+      uint64_t want_parity = (v == twist_vertex) ? 1u : 0u;
+      for (uint64_t mask = 0; mask < (1ULL << deg); ++mask) {
+        if (static_cast<uint64_t>(__builtin_popcountll(mask)) % 2 !=
+            want_parity) {
+          continue;
+        }
+        gadget[v].push_back({total++, mask});
+      }
+    }
+    Graph g(total, 2, /*directed=*/false);
+    for (size_t e = 0; e < m; ++e) {
+      g.SetOneHotFeature(static_cast<VertexId>(2 * e), 1);
+      g.SetOneHotFeature(static_cast<VertexId>(2 * e + 1), 1);
+    }
+    for (size_t v = 0; v < n; ++v) {
+      for (const auto& [gid, mask] : gadget[v]) {
+        g.SetOneHotFeature(static_cast<VertexId>(gid), 0);
+        for (size_t pos = 0; pos < inc[v].size(); ++pos) {
+          size_t e = inc[v][pos];
+          bool in_set = (mask >> pos) & 1u;
+          size_t edge_vertex = 2 * e + (in_set ? 1 : 0);
+          MustAddEdge(&g, static_cast<VertexId>(gid),
+                      static_cast<VertexId>(edge_vertex));
+        }
+      }
+    }
+    return g;
+  };
+
+  // Degree cap so gadgets (2^{deg-1} vertices) stay small.
+  for (size_t v = 0; v < n; ++v) {
+    if (inc[v].size() > 12) {
+      return Status::InvalidArgument("CFI base max degree is 12");
+    }
+  }
+  return std::make_pair(build(n), build(0));
+}
+
+Graph RandomGnp(size_t n, double p, Rng* rng) {
+  Graph g = Graph::Unlabeled(n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = i + 1; j < n; ++j)
+      if (rng->NextBernoulli(p))
+        MustAddEdge(&g, static_cast<VertexId>(i), static_cast<VertexId>(j));
+  return g;
+}
+
+Graph RandomTree(size_t n, Rng* rng) {
+  Graph g = Graph::Unlabeled(n);
+  if (n <= 1) return g;
+  if (n == 2) {
+    MustAddEdge(&g, 0, 1);
+    return g;
+  }
+  // Prüfer decoding.
+  std::vector<size_t> prufer(n - 2);
+  for (size_t& x : prufer) x = rng->NextBounded(n);
+  std::vector<size_t> degree(n, 1);
+  for (size_t x : prufer) ++degree[x];
+  std::set<size_t> leaves;
+  for (size_t v = 0; v < n; ++v)
+    if (degree[v] == 1) leaves.insert(v);
+  for (size_t x : prufer) {
+    size_t leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    MustAddEdge(&g, static_cast<VertexId>(leaf), static_cast<VertexId>(x));
+    if (--degree[x] == 1) leaves.insert(x);
+  }
+  size_t a = *leaves.begin();
+  size_t b = *std::next(leaves.begin());
+  MustAddEdge(&g, static_cast<VertexId>(a), static_cast<VertexId>(b));
+  return g;
+}
+
+Result<Graph> RandomRegular(size_t n, size_t d, Rng* rng) {
+  if (n * d % 2 != 0) {
+    return Status::InvalidArgument("n*d must be even for a d-regular graph");
+  }
+  if (d >= n) {
+    return Status::InvalidArgument("need d < n");
+  }
+  // Pairing (configuration) model with rejection of loops/multi-edges.
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    std::vector<size_t> stubs;
+    stubs.reserve(n * d);
+    for (size_t v = 0; v < n; ++v)
+      for (size_t i = 0; i < d; ++i) stubs.push_back(v);
+    rng->Shuffle(&stubs);
+    Graph g = Graph::Unlabeled(n);
+    bool ok = true;
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      VertexId u = static_cast<VertexId>(stubs[i]);
+      VertexId v = static_cast<VertexId>(stubs[i + 1]);
+      if (u == v || g.HasEdge(u, v)) {
+        ok = false;
+        break;
+      }
+      MustAddEdge(&g, u, v);
+    }
+    if (ok) return g;
+  }
+  return Status::Internal("random regular graph sampling did not converge");
+}
+
+SbmGraph RandomSbm(size_t n, size_t k, double p_in, double p_out, Rng* rng) {
+  SbmGraph out{Graph::Unlabeled(n), std::vector<size_t>(n)};
+  for (size_t v = 0; v < n; ++v) out.blocks[v] = v % k;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double p = out.blocks[i] == out.blocks[j] ? p_in : p_out;
+      if (rng->NextBernoulli(p))
+        MustAddEdge(&out.graph, static_cast<VertexId>(i),
+                    static_cast<VertexId>(j));
+    }
+  }
+  return out;
+}
+
+GraphDataset SyntheticMolecules(size_t num_graphs, Rng* rng) {
+  constexpr size_t kAtomTypes = 4;
+  GraphDataset ds;
+  ds.num_classes = 2;
+  for (size_t g = 0; g < num_graphs; ++g) {
+    size_t label = g % 2;
+    size_t n = 8 + rng->NextBounded(8);
+    Graph tree = RandomTree(n, rng);
+    Graph mol(n, kAtomTypes);
+    for (size_t u = 0; u < n; ++u) {
+      for (VertexId v : tree.Neighbors(static_cast<VertexId>(u))) {
+        if (v < u) continue;
+        Status s = mol.AddEdge(static_cast<VertexId>(u), v);
+        GELC_CHECK(s.ok());
+      }
+      mol.SetOneHotFeature(static_cast<VertexId>(u),
+                           rng->NextBounded(kAtomTypes));
+    }
+    if (label == 1) {
+      // Plant a labelled ring: close a path of length 4 into a 5-cycle with
+      // a fixed atom pattern (the "functional group").
+      std::vector<size_t> perm_v = rng->Permutation(n);
+      // Find 5 vertices forming a path in the tree via BFS from a random
+      // root; fall back to closing a triangle among any 3 vertices.
+      VertexId a = static_cast<VertexId>(perm_v[0]);
+      VertexId b = static_cast<VertexId>(perm_v[1]);
+      VertexId c = static_cast<VertexId>(perm_v[2]);
+      if (!mol.HasEdge(a, b)) (void)mol.AddEdge(a, b);
+      if (!mol.HasEdge(b, c)) (void)mol.AddEdge(b, c);
+      if (!mol.HasEdge(a, c)) (void)mol.AddEdge(a, c);
+      mol.SetOneHotFeature(a, 0);
+      mol.SetOneHotFeature(b, 1);
+      mol.SetOneHotFeature(c, 2);
+    }
+    ds.graphs.push_back(std::move(mol));
+    ds.labels.push_back(label);
+  }
+  return ds;
+}
+
+NodeDataset SyntheticCitations(size_t n, size_t num_classes,
+                               double feature_noise, Rng* rng) {
+  SbmGraph sbm = RandomSbm(n, num_classes, /*p_in=*/0.15, /*p_out=*/0.01, rng);
+  NodeDataset ds;
+  ds.num_classes = num_classes;
+  ds.labels = sbm.blocks;
+  Graph g(n, num_classes);
+  for (size_t u = 0; u < n; ++u) {
+    for (VertexId v : sbm.graph.Neighbors(static_cast<VertexId>(u))) {
+      if (v < u) continue;
+      Status s = g.AddEdge(static_cast<VertexId>(u), v);
+      GELC_CHECK(s.ok());
+    }
+    // Noisy one-hot community indicator.
+    size_t observed = rng->NextBernoulli(feature_noise)
+                          ? rng->NextBounded(num_classes)
+                          : sbm.blocks[u];
+    g.SetOneHotFeature(static_cast<VertexId>(u), observed);
+  }
+  ds.graph = std::move(g);
+  std::vector<size_t> order = rng->Permutation(n);
+  size_t train_count = n / 2;
+  ds.train_nodes.assign(order.begin(), order.begin() + train_count);
+  ds.test_nodes.assign(order.begin() + train_count, order.end());
+  return ds;
+}
+
+LinkDataset SyntheticSocialLinks(size_t n, Rng* rng) {
+  SbmGraph sbm = RandomSbm(n, /*k=*/4, /*p_in=*/0.25, /*p_out=*/0.02, rng);
+  LinkDataset ds;
+  // Hold out 20% of edges as positives; keep the rest observed.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (size_t u = 0; u < n; ++u)
+    for (VertexId v : sbm.graph.Neighbors(static_cast<VertexId>(u)))
+      if (u < v) edges.push_back({static_cast<VertexId>(u), v});
+  rng->Shuffle(&edges);
+  size_t held = edges.size() / 5;
+  // Profile features: a noisy one-hot community indicator (as real social
+  // networks expose user attributes correlated with their community).
+  Graph observed(n, 4);
+  for (size_t v = 0; v < n; ++v) {
+    size_t shown = rng->NextBernoulli(0.3) ? rng->NextBounded(4)
+                                           : sbm.blocks[v];
+    observed.SetOneHotFeature(static_cast<VertexId>(v), shown);
+  }
+  for (size_t i = held; i < edges.size(); ++i) {
+    Status s = observed.AddEdge(edges[i].first, edges[i].second);
+    GELC_CHECK(s.ok());
+  }
+  // Negatives: uniformly sampled vertex pairs that are non-edges in the
+  // full graph.
+  std::vector<std::pair<VertexId, VertexId>> negatives;
+  while (negatives.size() < held) {
+    VertexId u = static_cast<VertexId>(rng->NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng->NextBounded(n));
+    if (u == v || sbm.graph.HasEdge(u, v)) continue;
+    negatives.push_back({u, v});
+  }
+  // Interleave positives and negatives; split train/test 50/50.
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  std::vector<size_t> labels;
+  for (size_t i = 0; i < held; ++i) {
+    pairs.push_back(edges[i]);
+    labels.push_back(1);
+    pairs.push_back(negatives[i]);
+    labels.push_back(0);
+  }
+  size_t half = pairs.size() / 2;
+  ds.graph = std::move(observed);
+  ds.train_pairs.assign(pairs.begin(), pairs.begin() + half);
+  ds.train_labels.assign(labels.begin(), labels.begin() + half);
+  ds.test_pairs.assign(pairs.begin() + half, pairs.end());
+  ds.test_labels.assign(labels.begin() + half, labels.end());
+  return ds;
+}
+
+}  // namespace gelc

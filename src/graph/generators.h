@@ -1,0 +1,123 @@
+// Graph generators: deterministic families, random models, classic
+// WL-hard pairs, Cai-Fürer-Immerman constructions, and the synthetic
+// datasets substituting for the paper's motivating data (molecules /
+// citation network / social network, slides 7-9).
+#ifndef GELC_GRAPH_GENERATORS_H_
+#define GELC_GRAPH_GENERATORS_H_
+
+#include <utility>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "graph/graph.h"
+
+namespace gelc {
+
+// ---------------------------------------------------------------------------
+// Deterministic families (unlabeled; all-ones 1-dim features).
+// ---------------------------------------------------------------------------
+
+/// Path P_n on n vertices.
+Graph PathGraph(size_t n);
+/// Cycle C_n (n >= 3).
+Graph CycleGraph(size_t n);
+/// Complete graph K_n.
+Graph CompleteGraph(size_t n);
+/// Complete bipartite K_{a,b}.
+Graph CompleteBipartite(size_t a, size_t b);
+/// Star S_n: one hub and n leaves.
+Graph StarGraph(size_t n);
+/// rows x cols grid graph.
+Graph GridGraph(size_t rows, size_t cols);
+/// Circulant graph C_n(offsets): i ~ i +- s (mod n) for each s in offsets.
+Result<Graph> CirculantGraph(size_t n, const std::vector<size_t>& offsets);
+/// The Petersen graph (3-regular, 10 vertices).
+Graph PetersenGraph();
+/// d-dimensional hypercube Q_d (2^d vertices, d-regular). d must be in
+/// [1, 16].
+Result<Graph> HypercubeGraph(size_t d);
+/// Kneser graph K(n, k): vertices are k-subsets of [n], adjacent iff
+/// disjoint. Requires n >= 2k and modest sizes (C(n, k) <= 10000).
+/// K(5, 2) is the Petersen graph.
+Result<Graph> KneserGraph(size_t n, size_t k);
+
+// ---------------------------------------------------------------------------
+// Classic WL-hard pairs (slide 65: strictness of the k-WL hierarchy).
+// ---------------------------------------------------------------------------
+
+/// {C6, C3 + C3}: same degree sequence, color refinement cannot separate
+/// them, folklore 2-WL can.
+std::pair<Graph, Graph> Cr_HardPair();
+
+/// {Shrikhande, 4x4 rook's graph}: both srg(16,6,2,2); folklore 2-WL cannot
+/// separate them, folklore 3-WL can.
+std::pair<Graph, Graph> Srg16Pair();
+
+/// Cai-Fürer-Immerman pair over a connected base graph: the untwisted and
+/// twisted CFI companions. The graphs are never isomorphic, but require
+/// roughly treewidth(base)-dimensional WL to separate. Feature dim is 2:
+/// gadget vertices [1,0], edge vertices [0,1].
+Result<std::pair<Graph, Graph>> CfiPair(const Graph& base);
+
+// ---------------------------------------------------------------------------
+// Random models.
+// ---------------------------------------------------------------------------
+
+/// Erdős–Rényi G(n, p).
+Graph RandomGnp(size_t n, double p, Rng* rng);
+/// Uniform random labelled tree on n vertices via Prüfer sequences.
+Graph RandomTree(size_t n, Rng* rng);
+/// Random d-regular graph (pairing model with retries). Requires n*d even.
+Result<Graph> RandomRegular(size_t n, size_t d, Rng* rng);
+/// Stochastic block model: n vertices, k equal blocks, edge prob p_in
+/// within blocks and p_out across. Returns graph + block assignment.
+struct SbmGraph {
+  Graph graph;
+  std::vector<size_t> blocks;
+};
+SbmGraph RandomSbm(size_t n, size_t k, double p_in, double p_out, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Synthetic datasets (substitutes for the paper's motivating figures).
+// ---------------------------------------------------------------------------
+
+/// A labelled-graph classification dataset in the style of slide 7
+/// (molecule property prediction). Each "molecule" has 4 atom types
+/// (one-hot features). Positive molecules contain a planted labelled ring
+/// motif; negatives are acyclic with matched size distribution.
+struct GraphDataset {
+  std::vector<Graph> graphs;
+  std::vector<size_t> labels;  // class per graph
+  size_t num_classes = 2;
+};
+GraphDataset SyntheticMolecules(size_t num_graphs, Rng* rng);
+
+/// A node-classification dataset in the style of slide 8 (citation
+/// network). SBM communities; features are noisy one-hot community
+/// indicators; label = community.
+struct NodeDataset {
+  Graph graph;
+  std::vector<size_t> labels;       // class per vertex
+  std::vector<size_t> train_nodes;  // indices with revealed labels
+  std::vector<size_t> test_nodes;
+  size_t num_classes;
+};
+NodeDataset SyntheticCitations(size_t n, size_t num_classes,
+                               double feature_noise, Rng* rng);
+
+/// A link-prediction dataset in the style of slide 9 (social network):
+/// an SBM graph with a fraction of within-community edges held out as
+/// positive pairs, plus sampled non-edges as negatives.
+struct LinkDataset {
+  Graph graph;  // observed graph (held-out edges removed)
+  std::vector<std::pair<VertexId, VertexId>> train_pairs;
+  std::vector<size_t> train_labels;  // 1 = will connect
+  std::vector<std::pair<VertexId, VertexId>> test_pairs;
+  std::vector<size_t> test_labels;
+};
+LinkDataset SyntheticSocialLinks(size_t n, Rng* rng);
+
+}  // namespace gelc
+
+#endif  // GELC_GRAPH_GENERATORS_H_

@@ -1,0 +1,98 @@
+#include "graph/graph6.h"
+
+#include <vector>
+
+namespace gelc {
+
+namespace {
+
+constexpr int kBias = 63;  // printable offset
+
+// Reads N(n): either one byte (n <= 62) or '~' + 3 bytes (n <= 258047).
+Result<std::pair<size_t, size_t>> DecodeSize(const std::string& s) {
+  if (s.empty()) return Status::IOError("empty graph6 string");
+  unsigned char c0 = s[0];
+  if (c0 == '~') {
+    if (s.size() < 4) return Status::IOError("truncated graph6 size");
+    if (s[1] == '~') {
+      return Status::IOError("graph6 8-byte sizes not supported");
+    }
+    size_t n = 0;
+    for (int i = 1; i <= 3; ++i) {
+      unsigned char c = s[i];
+      if (c < kBias || c > 126) return Status::IOError("bad graph6 byte");
+      n = (n << 6) | (c - kBias);
+    }
+    return std::make_pair(n, size_t{4});
+  }
+  if (c0 < kBias || c0 > 126) return Status::IOError("bad graph6 byte");
+  return std::make_pair(static_cast<size_t>(c0 - kBias), size_t{1});
+}
+
+}  // namespace
+
+Result<Graph> ParseGraph6(const std::string& line) {
+  GELC_ASSIGN_OR_RETURN(auto size_info, DecodeSize(line));
+  auto [n, offset] = size_info;
+  size_t bits_needed = n * (n - 1) / 2;
+  size_t bytes_needed = (bits_needed + 5) / 6;
+  if (line.size() != offset + bytes_needed) {
+    return Status::IOError("graph6 length mismatch: expected " +
+                           std::to_string(offset + bytes_needed) +
+                           " characters, got " +
+                           std::to_string(line.size()));
+  }
+  Graph g = Graph::Unlabeled(n);
+  size_t bit = 0;
+  for (size_t v = 1; v < n; ++v) {
+    for (size_t u = 0; u < v; ++u, ++bit) {
+      unsigned char c = line[offset + bit / 6];
+      if (c < kBias || c > 126) return Status::IOError("bad graph6 byte");
+      int value = (c - kBias) >> (5 - bit % 6) & 1;
+      if (value) {
+        GELC_RETURN_NOT_OK(g.AddEdge(static_cast<VertexId>(u),
+                                     static_cast<VertexId>(v)));
+      }
+    }
+  }
+  return g;
+}
+
+Result<std::string> ToGraph6(const Graph& g) {
+  if (g.directed()) {
+    return Status::InvalidArgument("graph6 encodes undirected graphs only");
+  }
+  size_t n = g.num_vertices();
+  if (n > 258047) return Status::OutOfRange("graph too large for graph6");
+  std::string out;
+  if (n <= 62) {
+    out.push_back(static_cast<char>(n + kBias));
+  } else {
+    out.push_back('~');
+    out.push_back(static_cast<char>(((n >> 12) & 63) + kBias));
+    out.push_back(static_cast<char>(((n >> 6) & 63) + kBias));
+    out.push_back(static_cast<char>((n & 63) + kBias));
+  }
+  size_t bits = n * (n - 1) / 2;
+  std::vector<int> bit_values(bits, 0);
+  size_t bit = 0;
+  for (size_t v = 1; v < n; ++v) {
+    for (size_t u = 0; u < v; ++u, ++bit) {
+      bit_values[bit] = g.HasEdge(static_cast<VertexId>(u),
+                                  static_cast<VertexId>(v))
+                            ? 1
+                            : 0;
+    }
+  }
+  for (size_t i = 0; i < bits; i += 6) {
+    int value = 0;
+    for (size_t j = 0; j < 6; ++j) {
+      value <<= 1;
+      if (i + j < bits) value |= bit_values[i + j];
+    }
+    out.push_back(static_cast<char>(value + kBias));
+  }
+  return out;
+}
+
+}  // namespace gelc

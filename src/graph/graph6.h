@@ -1,0 +1,27 @@
+// graph6 codec: the compact ASCII format used by nauty / geng and most
+// graph-theory datasets. Supports undirected simple graphs up to 62
+// vertices in the short form and up to 258047 in the long form.
+//
+// Lets the library exchange benchmark graphs with the wider ecosystem
+// (e.g. checking WL verdicts against published hard instances).
+#ifndef GELC_GRAPH_GRAPH6_H_
+#define GELC_GRAPH_GRAPH6_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "graph/graph.h"
+
+namespace gelc {
+
+/// Decodes one graph6 line (without trailing newline) into an unlabeled
+/// undirected graph (all-ones 1-dim features).
+Result<Graph> ParseGraph6(const std::string& line);
+
+/// Encodes an undirected graph as graph6. Vertex features are dropped
+/// (the format stores structure only). Errors on directed graphs.
+Result<std::string> ToGraph6(const Graph& g);
+
+}  // namespace gelc
+
+#endif  // GELC_GRAPH_GRAPH6_H_

@@ -1,0 +1,141 @@
+#include "hom/trees.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "base/logging.h"
+
+namespace gelc {
+
+namespace {
+
+// Canonical encoding of the tree rooted at `root`: children encodings are
+// sorted and concatenated inside parentheses.
+std::string RootedEncoding(const Graph& g, VertexId root) {
+  std::function<std::string(VertexId, VertexId)> enc =
+      [&](VertexId v, VertexId parent) {
+        std::vector<std::string> kids;
+        for (VertexId u : g.Neighbors(v)) {
+          if (u == parent) continue;
+          kids.push_back(enc(u, v));
+        }
+        std::sort(kids.begin(), kids.end());
+        std::string out = "(";
+        for (const std::string& k : kids) out += k;
+        out += ")";
+        return out;
+      };
+  return enc(root, root);
+}
+
+// The 1 or 2 center vertices of a tree (iterative leaf stripping).
+std::vector<VertexId> TreeCenters(const Graph& g) {
+  size_t n = g.num_vertices();
+  if (n == 1) return {0};
+  std::vector<size_t> degree(n);
+  std::vector<VertexId> frontier;
+  for (size_t v = 0; v < n; ++v) {
+    degree[v] = g.OutDegree(static_cast<VertexId>(v));
+    if (degree[v] <= 1) frontier.push_back(static_cast<VertexId>(v));
+  }
+  size_t remaining = n;
+  std::vector<bool> removed(n, false);
+  while (remaining > 2) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      removed[v] = true;
+      --remaining;
+      for (VertexId u : g.Neighbors(v)) {
+        if (removed[u]) continue;
+        if (--degree[u] == 1) next.push_back(u);
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<VertexId> centers;
+  for (size_t v = 0; v < n; ++v)
+    if (!removed[v]) centers.push_back(static_cast<VertexId>(v));
+  return centers;
+}
+
+}  // namespace
+
+Result<std::string> TreeCanonicalForm(const Graph& g) {
+  size_t n = g.num_vertices();
+  if (n == 0) return Status::InvalidArgument("empty graph is not a tree");
+  if (g.num_edges() != n - 1 || g.ConnectedComponents().size() != 1) {
+    return Status::InvalidArgument("graph is not a tree");
+  }
+  std::vector<VertexId> centers = TreeCenters(g);
+  std::string best;
+  for (VertexId c : centers) {
+    std::string e = RootedEncoding(g, c);
+    if (best.empty() || e < best) best = e;
+  }
+  return best;
+}
+
+Result<Graph> TreeFromPrufer(const std::vector<size_t>& prufer, size_t n) {
+  if (n < 2) return Status::InvalidArgument("Prüfer decoding needs n >= 2");
+  if (prufer.size() != n - 2) {
+    return Status::InvalidArgument("Prüfer sequence must have length n - 2");
+  }
+  for (size_t x : prufer) {
+    if (x >= n) return Status::InvalidArgument("Prüfer entry out of range");
+  }
+  Graph g = Graph::Unlabeled(n);
+  std::vector<size_t> degree(n, 1);
+  for (size_t x : prufer) ++degree[x];
+  std::set<size_t> leaves;
+  for (size_t v = 0; v < n; ++v)
+    if (degree[v] == 1) leaves.insert(v);
+  for (size_t x : prufer) {
+    size_t leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    GELC_RETURN_NOT_OK(g.AddEdge(static_cast<VertexId>(leaf),
+                                 static_cast<VertexId>(x)));
+    if (--degree[x] == 1) leaves.insert(x);
+  }
+  GELC_CHECK(leaves.size() == 2);
+  size_t a = *leaves.begin();
+  size_t b = *std::next(leaves.begin());
+  GELC_RETURN_NOT_OK(
+      g.AddEdge(static_cast<VertexId>(a), static_cast<VertexId>(b)));
+  return g;
+}
+
+Result<std::vector<Graph>> AllTreesUpTo(size_t max_vertices) {
+  if (max_vertices == 0 || max_vertices > 9) {
+    return Status::InvalidArgument("AllTreesUpTo supports 1..9 vertices");
+  }
+  std::vector<Graph> out;
+  std::set<std::string> seen;
+  // n = 1 and n = 2 are special (no Prüfer sequence).
+  out.push_back(Graph::Unlabeled(1));
+  if (max_vertices >= 2) {
+    Graph p2 = Graph::Unlabeled(2);
+    Status s = p2.AddEdge(0, 1);
+    GELC_CHECK(s.ok());
+    out.push_back(std::move(p2));
+  }
+  for (size_t n = 3; n <= max_vertices; ++n) {
+    // Iterate over all n^{n-2} Prüfer sequences.
+    size_t len = n - 2;
+    std::vector<size_t> seq(len, 0);
+    for (;;) {
+      GELC_ASSIGN_OR_RETURN(Graph t, TreeFromPrufer(seq, n));
+      GELC_ASSIGN_OR_RETURN(std::string canon, TreeCanonicalForm(t));
+      if (seen.insert(std::to_string(n) + ":" + canon).second) {
+        out.push_back(std::move(t));
+      }
+      // Odometer increment.
+      size_t i = 0;
+      while (i < len && ++seq[i] == n) seq[i++] = 0;
+      if (i == len) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gelc

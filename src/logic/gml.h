@@ -1,0 +1,81 @@
+// Graded modal logic (GML) over vertex-labelled graphs.
+//
+// Slide 54 (Barceló et al., ICLR 2020): MPNN(Ω,Θ) can express exactly the
+// unary first-order queries expressible in graded modal logic:
+//
+//   φ ::= ⊤ | lab_j | ¬φ | φ ∧ φ | φ ∨ φ | ◇_{≥n} φ
+//
+// where lab_j holds at v iff the j-th label component of v is >= 0.5
+// (one-hot alphabets), and ◇_{≥n} φ holds at v iff at least n neighbors of
+// v satisfy φ.
+#ifndef GELC_LOGIC_GML_H_
+#define GELC_LOGIC_GML_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "graph/graph.h"
+
+namespace gelc {
+
+class GmlFormula;
+using GmlPtr = std::shared_ptr<const GmlFormula>;
+
+/// An immutable GML formula node. Build via the static factories.
+class GmlFormula {
+ public:
+  enum class Kind { kTrue, kLabel, kNot, kAnd, kOr, kAtLeast };
+
+  static GmlPtr True();
+  /// lab_j: the j-th label component is set.
+  static GmlPtr Label(size_t j);
+  static GmlPtr Not(GmlPtr f);
+  static GmlPtr And(GmlPtr a, GmlPtr b);
+  static GmlPtr Or(GmlPtr a, GmlPtr b);
+  /// ◇_{≥n} φ: at least n neighbors satisfy φ (n >= 1).
+  static GmlPtr AtLeast(size_t n, GmlPtr f);
+
+  Kind kind() const { return kind_; }
+  size_t label_index() const { return label_index_; }
+  size_t count() const { return count_; }
+  const GmlPtr& left() const { return left_; }
+  const GmlPtr& right() const { return right_; }
+
+  /// Modal/boolean nesting height; ⊤ and lab_j have height 1.
+  size_t Height() const;
+  /// Maximum label index referenced plus one (0 if no labels appear).
+  size_t MinFeatureDim() const;
+  /// Textual rendering, e.g. "(lab_0 ∧ ◇≥2 ¬lab_1)".
+  std::string ToString() const;
+
+  /// Samples a random formula of the given height over `num_labels` label
+  /// predicates; grades are drawn from [1, max_grade].
+  static GmlPtr Random(size_t height, size_t num_labels, size_t max_grade,
+                       Rng* rng);
+
+ private:
+  GmlFormula(Kind kind, size_t label_index, size_t count, GmlPtr left,
+             GmlPtr right)
+      : kind_(kind),
+        label_index_(label_index),
+        count_(count),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  Kind kind_;
+  size_t label_index_;
+  size_t count_;
+  GmlPtr left_;
+  GmlPtr right_;
+};
+
+/// Model checking: result[v] = true iff (g, v) ⊨ f. Errors if the formula
+/// references a label index beyond g's feature dimension.
+Result<std::vector<bool>> EvaluateGml(const GmlPtr& f, const Graph& g);
+
+}  // namespace gelc
+
+#endif  // GELC_LOGIC_GML_H_

@@ -1,0 +1,104 @@
+#include "logic/gml_to_gnn.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace gelc {
+
+namespace {
+
+// Deduplicated post-order catalogue of subformulas.
+struct Catalogue {
+  std::vector<GmlPtr> formulas;              // index -> subformula
+  std::map<std::string, size_t> index_of;    // canonical text -> index
+};
+
+size_t Collect(const GmlPtr& f, Catalogue* cat) {
+  std::string key = f->ToString();
+  auto it = cat->index_of.find(key);
+  if (it != cat->index_of.end()) return it->second;
+  if (f->left() != nullptr) Collect(f->left(), cat);
+  if (f->right() != nullptr) Collect(f->right(), cat);
+  size_t idx = cat->formulas.size();
+  cat->formulas.push_back(f);
+  cat->index_of.emplace(std::move(key), idx);
+  return idx;
+}
+
+}  // namespace
+
+Result<CompiledGmlGnn> CompileGmlToGnn(const GmlPtr& formula,
+                                       size_t feature_dim) {
+  if (formula == nullptr) return Status::InvalidArgument("null formula");
+  if (formula->MinFeatureDim() > feature_dim) {
+    return Status::InvalidArgument(
+        "formula references label index beyond feature_dim");
+  }
+  Catalogue cat;
+  size_t root = Collect(formula, &cat);
+  size_t s = cat.formulas.size();
+  size_t total = feature_dim + s;  // label coords, then subformula coords
+
+  auto column_of = [&](const GmlPtr& f) {
+    auto it = cat.index_of.find(f->ToString());
+    GELC_CHECK(it != cat.index_of.end());
+    return feature_dim + it->second;
+  };
+
+  size_t num_layers = formula->Height();
+  std::vector<Gnn101Layer> layers;
+  for (size_t t = 1; t <= num_layers; ++t) {
+    Gnn101Layer layer;
+    size_t in_dim = (t == 1) ? feature_dim : total;
+    layer.w1 = Matrix(in_dim, total);
+    layer.w2 = Matrix(in_dim, total);
+    layer.b = Matrix(1, total);
+    layer.act = Activation::kClippedReLU;
+    // Carry input labels forward (0/1 values are fixed by clip).
+    for (size_t j = 0; j < feature_dim; ++j) layer.w1.At(j, j) = 1.0;
+    for (size_t i = 0; i < s; ++i) {
+      const GmlPtr& f = cat.formulas[i];
+      size_t h = f->Height();
+      size_t col = feature_dim + i;
+      if (h < t && t > 1) {
+        // Already computed: carry forward.
+        layer.w1.At(col, col) = 1.0;
+        continue;
+      }
+      if (h != t) continue;  // computed in a later layer
+      switch (f->kind()) {
+        case GmlFormula::Kind::kTrue:
+          layer.b.At(0, col) = 1.0;
+          break;
+        case GmlFormula::Kind::kLabel:
+          layer.w1.At(f->label_index(), col) = 1.0;
+          break;
+        case GmlFormula::Kind::kNot:
+          layer.w1.At(column_of(f->left()), col) = -1.0;
+          layer.b.At(0, col) = 1.0;
+          break;
+        case GmlFormula::Kind::kAnd:
+          layer.w1.At(column_of(f->left()), col) += 1.0;
+          layer.w1.At(column_of(f->right()), col) += 1.0;
+          layer.b.At(0, col) = -1.0;
+          break;
+        case GmlFormula::Kind::kOr:
+          layer.w1.At(column_of(f->left()), col) += 1.0;
+          layer.w1.At(column_of(f->right()), col) += 1.0;
+          break;
+        case GmlFormula::Kind::kAtLeast:
+          layer.w2.At(column_of(f->left()), col) = 1.0;
+          layer.b.At(0, col) = -(static_cast<double>(f->count()) - 1.0);
+          break;
+      }
+    }
+    layers.push_back(std::move(layer));
+  }
+  CompiledGmlGnn out{Gnn101Model(std::move(layers)), feature_dim + root};
+  return out;
+}
+
+}  // namespace gelc

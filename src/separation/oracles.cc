@@ -1,0 +1,331 @@
+#include "separation/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/eval.h"
+#include "gnn/fgnn.h"
+#include "gnn/gnn101.h"
+#include "gnn/mpnn.h"
+#include "gnn/subgraph.h"
+#include "graph/isomorphism.h"
+#include "hom/hom_count.h"
+#include "hom/trees.h"
+#include "wl/color_refinement.h"
+#include "wl/kwl.h"
+
+namespace gelc {
+
+namespace {
+
+class IsoOracle : public EquivalenceOracle {
+ public:
+  explicit IsoOracle(size_t max_steps) : max_steps_(max_steps) {}
+  std::string name() const override { return "iso"; }
+  Result<bool> Equivalent(const Graph& a, const Graph& b) override {
+    return AreIsomorphic(a, b, max_steps_);
+  }
+
+ private:
+  size_t max_steps_;
+};
+
+class CrOracle : public EquivalenceOracle {
+ public:
+  std::string name() const override { return "CR"; }
+  Result<bool> Equivalent(const Graph& a, const Graph& b) override {
+    return CrEquivalentGraphs(a, b);
+  }
+};
+
+class KwlOracle : public EquivalenceOracle {
+ public:
+  explicit KwlOracle(size_t k) : k_(k) {}
+  std::string name() const override {
+    return std::to_string(k_) + "-WL";
+  }
+  Result<bool> Equivalent(const Graph& a, const Graph& b) override {
+    return KwlEquivalentGraphs(a, b, k_);
+  }
+
+ private:
+  size_t k_;
+};
+
+class TreeHomOracle : public EquivalenceOracle {
+ public:
+  explicit TreeHomOracle(size_t max_tree_vertices)
+      : max_tree_vertices_(max_tree_vertices) {}
+  std::string name() const override {
+    return "hom(trees<=" + std::to_string(max_tree_vertices_) + ")";
+  }
+  Result<bool> Equivalent(const Graph& a, const Graph& b) override {
+    if (trees_.empty()) {
+      GELC_ASSIGN_OR_RETURN(trees_, AllTreesUpTo(max_tree_vertices_));
+    }
+    GELC_ASSIGN_OR_RETURN(std::vector<int64_t> pa, TreeHomProfile(a, trees_));
+    GELC_ASSIGN_OR_RETURN(std::vector<int64_t> pb, TreeHomProfile(b, trees_));
+    return pa == pb;
+  }
+
+ private:
+  size_t max_tree_vertices_;
+  std::vector<Graph> trees_;
+};
+
+class Gnn101ProbeOracle : public EquivalenceOracle {
+ public:
+  Gnn101ProbeOracle(size_t num_models, std::vector<size_t> hidden_widths,
+                    double tolerance, uint64_t seed)
+      : num_models_(num_models),
+        hidden_widths_(std::move(hidden_widths)),
+        tolerance_(tolerance),
+        seed_(seed) {}
+  std::string name() const override { return "GNN101-probe"; }
+  Result<bool> Equivalent(const Graph& a, const Graph& b) override {
+    if (a.feature_dim() != b.feature_dim()) return false;
+    Rng rng(seed_);
+    std::vector<size_t> widths = {a.feature_dim()};
+    widths.insert(widths.end(), hidden_widths_.begin(),
+                  hidden_widths_.end());
+    for (size_t i = 0; i < num_models_; ++i) {
+      GELC_ASSIGN_OR_RETURN(
+          Gnn101Model model,
+          Gnn101Model::Random(widths, Activation::kTanh, 0.8, &rng));
+      GELC_ASSIGN_OR_RETURN(Matrix ea, model.GraphEmbedding(a));
+      GELC_ASSIGN_OR_RETURN(Matrix eb, model.GraphEmbedding(b));
+      if (ea.rows() != eb.rows() || ea.cols() != eb.cols()) return false;
+      if (ea.MaxAbsDiff(eb) > tolerance_) return false;
+    }
+    return true;
+  }
+
+ private:
+  size_t num_models_;
+  std::vector<size_t> hidden_widths_;
+  double tolerance_;
+  uint64_t seed_;
+};
+
+class MpnnProbeOracle : public EquivalenceOracle {
+ public:
+  MpnnProbeOracle(size_t num_models, std::vector<size_t> hidden_widths,
+                  Aggregation agg, double tolerance, uint64_t seed)
+      : num_models_(num_models),
+        hidden_widths_(std::move(hidden_widths)),
+        agg_(agg),
+        tolerance_(tolerance),
+        seed_(seed) {}
+  std::string name() const override {
+    return std::string("MPNN[") + AggregationName(agg_) + "]-probe";
+  }
+  Result<bool> Equivalent(const Graph& a, const Graph& b) override {
+    if (a.feature_dim() != b.feature_dim()) return false;
+    Rng rng(seed_);
+    std::vector<size_t> widths = {a.feature_dim()};
+    widths.insert(widths.end(), hidden_widths_.begin(),
+                  hidden_widths_.end());
+    for (size_t i = 0; i < num_models_; ++i) {
+      GELC_ASSIGN_OR_RETURN(MpnnModel model,
+                            MpnnModel::Random(widths, agg_, 0.8, &rng));
+      GELC_ASSIGN_OR_RETURN(Matrix ea, model.GraphEmbedding(a));
+      GELC_ASSIGN_OR_RETURN(Matrix eb, model.GraphEmbedding(b));
+      if (ea.MaxAbsDiff(eb) > tolerance_) return false;
+    }
+    return true;
+  }
+
+ private:
+  size_t num_models_;
+  std::vector<size_t> hidden_widths_;
+  Aggregation agg_;
+  double tolerance_;
+  uint64_t seed_;
+};
+
+// Shared skeleton for sampled model-class probes over graph embeddings.
+template <typename Model>
+class ModelProbeOracle : public EquivalenceOracle {
+ public:
+  ModelProbeOracle(std::string name, size_t num_models,
+                   std::vector<size_t> hidden_widths, double tolerance,
+                   uint64_t seed)
+      : name_(std::move(name)),
+        num_models_(num_models),
+        hidden_widths_(std::move(hidden_widths)),
+        tolerance_(tolerance),
+        seed_(seed) {}
+  std::string name() const override { return name_; }
+  Result<bool> Equivalent(const Graph& a, const Graph& b) override {
+    if (a.feature_dim() != b.feature_dim()) return false;
+    Rng rng(seed_);
+    std::vector<size_t> widths = {a.feature_dim()};
+    widths.insert(widths.end(), hidden_widths_.begin(),
+                  hidden_widths_.end());
+    for (size_t i = 0; i < num_models_; ++i) {
+      GELC_ASSIGN_OR_RETURN(Model model, Model::Random(widths, 0.8, &rng));
+      GELC_ASSIGN_OR_RETURN(Matrix ea, model.GraphEmbedding(a));
+      GELC_ASSIGN_OR_RETURN(Matrix eb, model.GraphEmbedding(b));
+      if (ea.rows() != eb.rows() || ea.cols() != eb.cols()) return false;
+      if (ea.MaxAbsDiff(eb) > tolerance_) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string name_;
+  size_t num_models_;
+  std::vector<size_t> hidden_widths_;
+  double tolerance_;
+  uint64_t seed_;
+};
+
+// IdGnnModel::Random takes an activation argument; adapt its signature to
+// the probe skeleton.
+struct IdGnnForProbe {
+  IdGnnModel model;
+  static Result<IdGnnForProbe> Random(const std::vector<size_t>& widths,
+                                      double scale, Rng* rng) {
+    GELC_ASSIGN_OR_RETURN(
+        IdGnnModel m,
+        IdGnnModel::Random(widths, Activation::kTanh, scale, rng));
+    return IdGnnForProbe{std::move(m)};
+  }
+  Result<Matrix> GraphEmbedding(const Graph& g) const {
+    return model.GraphEmbedding(g);
+  }
+};
+
+class GelSuiteOracle : public EquivalenceOracle {
+ public:
+  GelSuiteOracle(std::vector<ExprPtr> expressions, double tolerance,
+                 std::string name)
+      : expressions_(std::move(expressions)),
+        tolerance_(tolerance),
+        name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  Result<bool> Equivalent(const Graph& a, const Graph& b) override {
+    Evaluator ea(a);
+    Evaluator eb(b);
+    for (const ExprPtr& e : expressions_) {
+      GELC_ASSIGN_OR_RETURN(std::vector<double> va, ea.EvalClosed(e));
+      GELC_ASSIGN_OR_RETURN(std::vector<double> vb, eb.EvalClosed(e));
+      if (va.size() != vb.size()) return false;
+      for (size_t i = 0; i < va.size(); ++i) {
+        if (std::abs(va[i] - vb[i]) > tolerance_) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<ExprPtr> expressions_;
+  double tolerance_;
+  std::string name_;
+};
+
+}  // namespace
+
+OraclePtr MakeIsomorphismOracle(size_t max_steps) {
+  return std::make_unique<IsoOracle>(max_steps);
+}
+
+OraclePtr MakeCrOracle() { return std::make_unique<CrOracle>(); }
+
+OraclePtr MakeKwlOracle(size_t k) { return std::make_unique<KwlOracle>(k); }
+
+OraclePtr MakeTreeHomOracle(size_t max_tree_vertices) {
+  return std::make_unique<TreeHomOracle>(max_tree_vertices);
+}
+
+OraclePtr MakeGnn101ProbeOracle(size_t num_models,
+                                std::vector<size_t> hidden_widths,
+                                double tolerance, uint64_t seed) {
+  return std::make_unique<Gnn101ProbeOracle>(num_models,
+                                             std::move(hidden_widths),
+                                             tolerance, seed);
+}
+
+OraclePtr MakeMpnnProbeOracle(size_t num_models,
+                              std::vector<size_t> hidden_widths,
+                              int aggregation, double tolerance,
+                              uint64_t seed) {
+  Aggregation agg = aggregation == 0   ? Aggregation::kSum
+                    : aggregation == 1 ? Aggregation::kMean
+                                       : Aggregation::kMax;
+  return std::make_unique<MpnnProbeOracle>(num_models,
+                                           std::move(hidden_widths), agg,
+                                           tolerance, seed);
+}
+
+OraclePtr MakeFgnn2ProbeOracle(size_t num_models,
+                               std::vector<size_t> hidden_widths,
+                               double tolerance, uint64_t seed) {
+  return std::make_unique<ModelProbeOracle<Fgnn2Model>>(
+      "2FGNN-probe", num_models, std::move(hidden_widths), tolerance, seed);
+}
+
+OraclePtr MakeIdGnnProbeOracle(size_t num_models,
+                               std::vector<size_t> hidden_widths,
+                               double tolerance, uint64_t seed) {
+  return std::make_unique<ModelProbeOracle<IdGnnForProbe>>(
+      "IdGNN-probe", num_models, std::move(hidden_widths), tolerance, seed);
+}
+
+OraclePtr MakeGelSuiteOracle(std::vector<ExprPtr> expressions,
+                             double tolerance, std::string name) {
+  return std::make_unique<GelSuiteOracle>(std::move(expressions), tolerance,
+                                          std::move(name));
+}
+
+PairVerdicts ComparePair(const std::string& pair_name, const Graph& a,
+                         const Graph& b,
+                         const std::vector<EquivalenceOracle*>& oracles) {
+  PairVerdicts out;
+  out.pair_name = pair_name;
+  for (EquivalenceOracle* oracle : oracles) {
+    out.oracle_names.push_back(oracle->name());
+    Result<bool> r = oracle->Equivalent(a, b);
+    if (!r.ok()) {
+      out.verdicts.push_back("error: " + r.status().ToString());
+    } else {
+      out.verdicts.push_back(*r ? "equiv" : "separated");
+    }
+  }
+  return out;
+}
+
+std::string FormatVerdictTable(const std::vector<PairVerdicts>& rows) {
+  if (rows.empty()) return "";
+  // Column widths.
+  size_t name_width = 4;
+  for (const auto& row : rows)
+    name_width = std::max(name_width, row.pair_name.size());
+  std::vector<size_t> col_width;
+  for (const auto& n : rows[0].oracle_names)
+    col_width.push_back(std::max<size_t>(n.size(), 9));
+  for (const auto& row : rows)
+    for (size_t i = 0; i < row.verdicts.size() && i < col_width.size(); ++i)
+      col_width[i] = std::max(col_width[i], row.verdicts[i].size());
+
+  std::ostringstream os;
+  os << std::string(name_width, ' ');
+  for (size_t i = 0; i < rows[0].oracle_names.size(); ++i) {
+    os << "  " << rows[0].oracle_names[i]
+       << std::string(col_width[i] - rows[0].oracle_names[i].size(), ' ');
+  }
+  os << "\n";
+  for (const auto& row : rows) {
+    os << row.pair_name
+       << std::string(name_width - row.pair_name.size(), ' ');
+    for (size_t i = 0; i < row.verdicts.size(); ++i) {
+      os << "  " << row.verdicts[i]
+         << std::string(col_width[i] - row.verdicts[i].size(), ' ');
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gelc

@@ -1,0 +1,100 @@
+// Separation-power oracles: executable versions of the equivalence
+// relations ρ(F) of slide 24:
+//
+//   (G, H) ∈ ρ(F)  iff  no embedding in F separates G from H.
+//
+// Each oracle decides (or samples) ρ-membership for a pair of graphs; the
+// comparison harness tabulates the verdicts, letting the refinement order
+// of slide 25/65 (iso ⊆ ... ⊆ k-WL ⊆ ... ⊆ CR) be observed empirically.
+#ifndef GELC_SEPARATION_ORACLES_H_
+#define GELC_SEPARATION_ORACLES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "core/expr.h"
+#include "graph/graph.h"
+
+namespace gelc {
+
+/// Decides whether a pair of graphs is ρ-equivalent for some class F.
+class EquivalenceOracle {
+ public:
+  virtual ~EquivalenceOracle() = default;
+  virtual std::string name() const = 0;
+  /// True iff (a, b) ∈ ρ(F): the class cannot separate the pair.
+  virtual Result<bool> Equivalent(const Graph& a, const Graph& b) = 0;
+};
+
+using OraclePtr = std::unique_ptr<EquivalenceOracle>;
+
+/// ρ(graph isomorphism): the finest invariant relation (slide 25).
+OraclePtr MakeIsomorphismOracle(size_t max_steps = 20'000'000);
+
+/// ρ(color refinement), graph level (slide 50).
+OraclePtr MakeCrOracle();
+
+/// ρ(k-WL), folklore variant (slide 65).
+OraclePtr MakeKwlOracle(size_t k);
+
+/// Equality of hom(T, ·) profiles over all trees with at most
+/// `max_tree_vertices` vertices (slide 27; a finite slice of the
+/// Dell-Grohe-Rattan characterization).
+OraclePtr MakeTreeHomOracle(size_t max_tree_vertices);
+
+/// Sampled ρ(GNN 101): `num_models` random models with the given hidden
+/// widths; equivalent iff no sampled model's graph embedding differs by
+/// more than `tolerance` in max norm. One-sided: "equivalent" verdicts are
+/// up to sampling, "separated" verdicts are certain.
+OraclePtr MakeGnn101ProbeOracle(size_t num_models,
+                                std::vector<size_t> hidden_widths,
+                                double tolerance, uint64_t seed);
+
+/// Sampled ρ(MPNN) with a selectable aggregation (slide 69's sum vs mean
+/// vs max comparison). Same sampling caveat as the GNN-101 probe.
+OraclePtr MakeMpnnProbeOracle(size_t num_models,
+                              std::vector<size_t> hidden_widths,
+                              int aggregation,  // 0 sum, 1 mean, 2 max
+                              double tolerance, uint64_t seed);
+
+/// Sampled ρ(2-FGNN): folklore pair-based networks with the separation
+/// power of folklore 2-WL (slide 63's higher-order architectures).
+OraclePtr MakeFgnn2ProbeOracle(size_t num_models,
+                               std::vector<size_t> hidden_widths,
+                               double tolerance, uint64_t seed);
+
+/// Sampled ρ(ID-GNN): identity-aware subgraph networks (slide 71),
+/// strictly above color refinement (they see cycles through the marked
+/// vertex) yet incomparable to full 2-WL.
+OraclePtr MakeIdGnnProbeOracle(size_t num_models,
+                               std::vector<size_t> hidden_widths,
+                               double tolerance, uint64_t seed);
+
+/// ρ of a fixed finite set of closed GEL expressions: equivalent iff all
+/// expressions agree on both graphs within `tolerance`.
+OraclePtr MakeGelSuiteOracle(std::vector<ExprPtr> expressions,
+                             double tolerance, std::string name);
+
+/// One row of a pairwise comparison: the verdict of every oracle.
+struct PairVerdicts {
+  std::string pair_name;
+  std::vector<std::string> oracle_names;
+  /// "equiv", "separated", or "error: ...".
+  std::vector<std::string> verdicts;
+};
+
+/// Runs every oracle on the pair and collects verdicts (errors are
+/// reported inline, not propagated).
+PairVerdicts ComparePair(const std::string& pair_name, const Graph& a,
+                         const Graph& b,
+                         const std::vector<EquivalenceOracle*>& oracles);
+
+/// Formats verdict rows as an aligned text table.
+std::string FormatVerdictTable(const std::vector<PairVerdicts>& rows);
+
+}  // namespace gelc
+
+#endif  // GELC_SEPARATION_ORACLES_H_

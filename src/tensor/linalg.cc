@@ -1,0 +1,64 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+namespace gelc {
+
+Result<Matrix> SolveLinearSystem(Matrix a, Matrix b) {
+  size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: A must be square");
+  }
+  if (b.rows() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: B row mismatch");
+  }
+  size_t k = b.cols();
+  // Forward elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.At(r, col)) > std::fabs(a.At(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a.At(pivot, col)) < 1e-12) {
+      return Status::InvalidArgument(
+          "SolveLinearSystem: matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(a.At(col, j), a.At(pivot, j));
+      for (size_t j = 0; j < k; ++j) std::swap(b.At(col, j), b.At(pivot, j));
+    }
+    double inv = 1.0 / a.At(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a.At(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (size_t j = col; j < n; ++j) a.At(r, j) -= factor * a.At(col, j);
+      for (size_t j = 0; j < k; ++j) b.At(r, j) -= factor * b.At(col, j);
+    }
+  }
+  // Back substitution.
+  Matrix x(n, k);
+  for (size_t row = n; row-- > 0;) {
+    for (size_t j = 0; j < k; ++j) {
+      double s = b.At(row, j);
+      for (size_t c = row + 1; c < n; ++c) s -= a.At(row, c) * x.At(c, j);
+      x.At(row, j) = s / a.At(row, row);
+    }
+  }
+  return x;
+}
+
+Result<Matrix> RidgeRegression(const Matrix& x, const Matrix& y,
+                               double lambda) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("RidgeRegression: row mismatch");
+  }
+  if (lambda <= 0.0) {
+    return Status::InvalidArgument("RidgeRegression: lambda must be > 0");
+  }
+  Matrix xt = x.Transposed();
+  Matrix gram = xt.MatMul(x);
+  for (size_t i = 0; i < gram.rows(); ++i) gram.At(i, i) += lambda;
+  return SolveLinearSystem(std::move(gram), xt.MatMul(y));
+}
+
+}  // namespace gelc

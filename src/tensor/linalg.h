@@ -1,0 +1,25 @@
+// Small dense linear-algebra routines beyond Matrix's arithmetic:
+// Gaussian-elimination solves and ridge-regularized least squares. Used by
+// the approximation experiments (slides 29-31) to fit linear read-outs on
+// random GNN features.
+#ifndef GELC_TENSOR_LINALG_H_
+#define GELC_TENSOR_LINALG_H_
+
+#include "base/status.h"
+#include "tensor/matrix.h"
+
+namespace gelc {
+
+/// Solves A X = B for X with partial-pivot Gaussian elimination.
+/// A must be square (n x n) and non-singular; B is n x k.
+Result<Matrix> SolveLinearSystem(Matrix a, Matrix b);
+
+/// Ridge regression: returns W minimizing ||X W - Y||² + lambda ||W||².
+/// X is m x d, Y is m x k; W is d x k. lambda > 0 keeps the normal
+/// equations well-posed.
+Result<Matrix> RidgeRegression(const Matrix& x, const Matrix& y,
+                               double lambda);
+
+}  // namespace gelc
+
+#endif  // GELC_TENSOR_LINALG_H_

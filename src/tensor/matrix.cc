@@ -1,0 +1,214 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gelc {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(0) {
+  for (const auto& row : rows) {
+    if (cols_ == 0) cols_ = row.size();
+    GELC_CHECK(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+  if (rows_ == 0) cols_ = 0;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, double lo, double hi,
+                             Rng* rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.data_) x = rng->NextUniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::RandomGaussian(size_t rows, size_t cols, double stddev,
+                              Rng* rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.data_) x = stddev * rng->NextGaussian();
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<double>& values) {
+  Matrix m(1, values.size());
+  m.data_ = values;
+  return m;
+}
+
+Matrix Matrix::Row(size_t r) const {
+  GELC_CHECK(r < rows_);
+  Matrix out(1, cols_);
+  std::copy(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_,
+            out.data_.begin());
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const Matrix& row) {
+  GELC_CHECK(r < rows_ && row.rows() == 1 && row.cols() == cols_);
+  std::copy(row.data_.begin(), row.data_.end(), data_.begin() + r * cols_);
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  GELC_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order for row-major cache friendliness.
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = data_[i * cols_ + k];
+      if (a == 0.0) continue;
+      const double* brow = &other.data_[k * other.cols_];
+      double* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix out = *this;
+  out -= other;
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  GELC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  out *= s;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  GELC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  GELC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::AddRowBroadcast(const Matrix& bias) const {
+  GELC_CHECK(bias.rows() == 1 && bias.cols() == cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out.At(i, j) += bias.At(0, j);
+  return out;
+}
+
+Matrix Matrix::Map(const std::function<double(double)>& f) const {
+  Matrix out = *this;
+  for (double& x : out.data_) x = f(x);
+  return out;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s;
+}
+
+Matrix Matrix::ColSums() const {
+  Matrix out(1, cols_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out.At(0, j) += At(i, j);
+  return out;
+}
+
+Matrix Matrix::ColMeans() const {
+  if (rows_ == 0) return Matrix(1, cols_);
+  Matrix out = ColSums();
+  out *= 1.0 / static_cast<double>(rows_);
+  return out;
+}
+
+Matrix Matrix::ColMax() const {
+  GELC_CHECK(rows_ > 0);
+  Matrix out = Row(0);
+  for (size_t i = 1; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j)
+      out.At(0, j) = std::max(out.At(0, j), At(i, j));
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  GELC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  return m;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  GELC_CHECK(rows_ == other.rows_);
+  Matrix out(rows_, cols_ + other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out.At(i, j) = At(i, j);
+    for (size_t j = 0; j < other.cols_; ++j)
+      out.At(i, cols_ + j) = other.At(i, j);
+  }
+  return out;
+}
+
+bool Matrix::AllClose(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i)
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < rows_; ++i) {
+    if (i) os << ", ";
+    os << "[";
+    for (size_t j = 0; j < cols_; ++j) {
+      if (j) os << ", ";
+      os << At(i, j);
+    }
+    os << "]";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace gelc

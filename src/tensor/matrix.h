@@ -1,0 +1,131 @@
+// Dense row-major matrices and vectors over double.
+//
+// This is the numeric substrate of the GNN library (slide 13 of the paper:
+// feature matrices F^(t) in R^{n x d}, weight matrices W in R^{d x d}).
+// It is intentionally small: exactly the operations GNN inference and
+// training need, implemented carefully rather than generally.
+#ifndef GELC_TENSOR_MATRIX_H_
+#define GELC_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "base/status.h"
+
+namespace gelc {
+
+/// A dense row-major matrix of doubles.
+class Matrix {
+ public:
+  /// An empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// A rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Zero(size_t rows, size_t cols) { return Matrix(rows, cols); }
+  static Matrix Identity(size_t n);
+  /// Entries i.i.d. uniform in [lo, hi).
+  static Matrix RandomUniform(size_t rows, size_t cols, double lo, double hi,
+                              Rng* rng);
+  /// Entries i.i.d. N(0, stddev^2).
+  static Matrix RandomGaussian(size_t rows, size_t cols, double stddev,
+                               Rng* rng);
+  /// A 1 x n row vector from values.
+  static Matrix RowVector(const std::vector<double>& values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c) {
+    GELC_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    GELC_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Returns row r as a 1 x cols matrix.
+  Matrix Row(size_t r) const;
+  /// Copies a 1 x cols matrix into row r.
+  void SetRow(size_t r, const Matrix& row);
+
+  /// Matrix product; dimension mismatch is a checked programmer error.
+  Matrix MatMul(const Matrix& other) const;
+  /// Transpose.
+  Matrix Transposed() const;
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  /// Elementwise (Hadamard) product.
+  Matrix Hadamard(const Matrix& other) const;
+  Matrix operator*(double s) const;
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  /// Adds a 1 x cols bias row to every row.
+  Matrix AddRowBroadcast(const Matrix& bias) const;
+
+  /// Applies f to every entry.
+  Matrix Map(const std::function<double(double)>& f) const;
+
+  /// Sum of all entries.
+  double Sum() const;
+  /// Column-wise sum as a 1 x cols matrix.
+  Matrix ColSums() const;
+  /// Column-wise mean as a 1 x cols matrix; zero rows yield zeros.
+  Matrix ColMeans() const;
+  /// Column-wise max as a 1 x cols matrix; requires rows() > 0.
+  Matrix ColMax() const;
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+  /// Max |a_ij - b_ij|; matrices must have equal shape.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// Horizontal concatenation [this | other]; equal row counts required.
+  Matrix ConcatCols(const Matrix& other) const;
+
+  /// True if shapes and all entries are exactly equal.
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+  /// True if shapes match and entries agree within `tol`.
+  bool AllClose(const Matrix& other, double tol = 1e-9) const;
+
+  /// Compact textual form for diagnostics, e.g. "[[1, 2], [3, 4]]".
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+inline Matrix operator*(double s, const Matrix& m) { return m * s; }
+
+/// Row vectors are pervasive (per-vertex embeddings live in R^{1 x d}).
+using RowVec = Matrix;
+
+}  // namespace gelc
+
+#endif  // GELC_TENSOR_MATRIX_H_

@@ -1,0 +1,118 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gelc {
+
+double ApplyActivation(Activation act, double x) {
+  switch (act) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kReLU:
+      return x > 0.0 ? x : 0.0;
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kSign:
+      return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0);
+    case Activation::kClippedReLU:
+      return std::min(1.0, std::max(0.0, x));
+  }
+  return x;
+}
+
+double ActivationGrad(Activation act, double x) {
+  switch (act) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kReLU:
+      return x > 0.0 ? 1.0 : 0.0;
+    case Activation::kSigmoid: {
+      double s = 1.0 / (1.0 + std::exp(-x));
+      return s * (1.0 - s);
+    }
+    case Activation::kTanh: {
+      double t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+    case Activation::kSign:
+      return 0.0;
+    case Activation::kClippedReLU:
+      return (x > 0.0 && x < 1.0) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+Matrix ApplyActivation(Activation act, const Matrix& m) {
+  return m.Map([act](double x) { return ApplyActivation(act, x); });
+}
+
+const char* ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kReLU:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kSign:
+      return "sign";
+    case Activation::kClippedReLU:
+      return "clipped_relu";
+  }
+  return "unknown";
+}
+
+Result<Activation> ParseActivation(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kReLU;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sign") return Activation::kSign;
+  if (name == "clipped_relu") return Activation::kClippedReLU;
+  return Status::InvalidArgument("unknown activation: " + name);
+}
+
+Matrix RowSoftmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    double mx = out.At(i, 0);
+    for (size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, out.At(i, j));
+    double sum = 0.0;
+    for (size_t j = 0; j < out.cols(); ++j) {
+      out.At(i, j) = std::exp(out.At(i, j) - mx);
+      sum += out.At(i, j);
+    }
+    for (size_t j = 0; j < out.cols(); ++j) out.At(i, j) /= sum;
+  }
+  return out;
+}
+
+Matrix RowLogSoftmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    double mx = out.At(i, 0);
+    for (size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, out.At(i, j));
+    double sum = 0.0;
+    for (size_t j = 0; j < out.cols(); ++j)
+      sum += std::exp(out.At(i, j) - mx);
+    double lse = mx + std::log(sum);
+    for (size_t j = 0; j < out.cols(); ++j) out.At(i, j) -= lse;
+  }
+  return out;
+}
+
+std::vector<size_t> RowArgmax(const Matrix& m) {
+  std::vector<size_t> out(m.rows(), 0);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 1; j < m.cols(); ++j)
+      if (m.At(i, j) > m.At(i, out[i])) out[i] = j;
+  }
+  return out;
+}
+
+}  // namespace gelc

@@ -1,0 +1,53 @@
+// Scalar activation functions and softmax-style matrix utilities.
+//
+// These are the nonlinearities σ the paper parameterizes GNN 101 over
+// (slide 13: "ReLU, sigmoid, sign, ...") and the numerically stable
+// softmax / log-softmax used by cross-entropy training.
+#ifndef GELC_TENSOR_OPS_H_
+#define GELC_TENSOR_OPS_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "tensor/matrix.h"
+
+namespace gelc {
+
+/// The nonlinear activation σ : R → R applied entrywise by a GNN layer.
+enum class Activation {
+  kIdentity,
+  kReLU,
+  kSigmoid,
+  kTanh,
+  kSign,
+  /// Truncated ReLU min(max(x,0),1); handy for logic-to-GNN constructions.
+  kClippedReLU,
+};
+
+/// Applies `act` to a scalar.
+double ApplyActivation(Activation act, double x);
+
+/// Derivative of `act` at x (subgradient 0 at kinks).
+double ActivationGrad(Activation act, double x);
+
+/// Applies `act` entrywise.
+Matrix ApplyActivation(Activation act, const Matrix& m);
+
+/// Human-readable name ("relu", "sigmoid", ...).
+const char* ActivationName(Activation act);
+
+/// Parses an activation name; inverse of ActivationName.
+Result<Activation> ParseActivation(const std::string& name);
+
+/// Row-wise numerically stable softmax.
+Matrix RowSoftmax(const Matrix& logits);
+
+/// Row-wise log-softmax.
+Matrix RowLogSoftmax(const Matrix& logits);
+
+/// Index of the max entry in each row.
+std::vector<size_t> RowArgmax(const Matrix& m);
+
+}  // namespace gelc
+
+#endif  // GELC_TENSOR_OPS_H_

@@ -1,0 +1,104 @@
+#include "wl/color_refinement.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "base/hash.h"
+#include "base/logging.h"
+
+namespace gelc {
+
+namespace {
+
+// Bitwise hash of a vertex's feature row (exact equality semantics).
+std::string FeatureSignature(const Graph& g, size_t v) {
+  std::string buf(g.feature_dim() * sizeof(double), '\0');
+  for (size_t j = 0; j < g.feature_dim(); ++j) {
+    double x = g.features().At(v, j);
+    std::memcpy(buf.data() + j * sizeof(double), &x, sizeof(double));
+  }
+  return buf;
+}
+
+size_t CountDistinct(const std::vector<std::vector<uint64_t>>& colorings) {
+  std::vector<uint64_t> all;
+  for (const auto& c : colorings) all.insert(all.end(), c.begin(), c.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all.size();
+}
+
+}  // namespace
+
+std::vector<uint64_t> CrColoring::GraphSignature(size_t g) const {
+  GELC_CHECK(g < stable.size());
+  std::vector<uint64_t> sig = stable[g];
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+CrColoring RunColorRefinement(const std::vector<const Graph*>& graphs,
+                              int max_rounds) {
+  Interner interner;
+  CrColoring out;
+  out.stable.resize(graphs.size());
+
+  // Round 0: original labels.
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    size_t n = graphs[g]->num_vertices();
+    out.stable[g].resize(n);
+    for (size_t v = 0; v < n; ++v)
+      out.stable[g][v] = interner.Intern(FeatureSignature(*graphs[g], v));
+  }
+  out.history.push_back(out.stable);
+
+  size_t prev_distinct = CountDistinct(out.stable);
+  for (size_t round = 1;; ++round) {
+    if (max_rounds >= 0 && round > static_cast<size_t>(max_rounds)) break;
+    std::vector<std::vector<uint64_t>> next(graphs.size());
+    for (size_t g = 0; g < graphs.size(); ++g) {
+      const Graph& graph = *graphs[g];
+      size_t n = graph.num_vertices();
+      next[g].resize(n);
+      for (size_t v = 0; v < n; ++v) {
+        std::vector<uint64_t> sig;
+        sig.push_back(out.stable[g][v]);
+        std::vector<uint64_t> nb;
+        for (VertexId u : graph.Neighbors(static_cast<VertexId>(v)))
+          nb.push_back(out.stable[g][u]);
+        std::sort(nb.begin(), nb.end());
+        sig.insert(sig.end(), nb.begin(), nb.end());
+        next[g][v] = interner.InternWords(sig);
+      }
+    }
+    size_t distinct = CountDistinct(next);
+    out.stable = std::move(next);
+    out.history.push_back(out.stable);
+    out.rounds = round;
+    if (distinct == prev_distinct) break;  // partition stable
+    prev_distinct = distinct;
+  }
+  return out;
+}
+
+bool CrEquivalentGraphs(const Graph& a, const Graph& b) {
+  CrColoring c = RunColorRefinement({&a, &b});
+  return c.GraphSignature(0) == c.GraphSignature(1);
+}
+
+bool CrEquivalentVertices(const Graph& a, VertexId u, const Graph& b,
+                          VertexId v) {
+  CrColoring c = RunColorRefinement({&a, &b});
+  return c.stable[0][u] == c.stable[1][v];
+}
+
+size_t CrPartitionSize(const Graph& g) {
+  CrColoring c = RunColorRefinement({&g});
+  std::vector<uint64_t> colors = c.stable[0];
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+  return colors.size();
+}
+
+}  // namespace gelc

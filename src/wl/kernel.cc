@@ -1,0 +1,87 @@
+#include "wl/kernel.h"
+#include <cmath>
+
+#include "tensor/linalg.h"
+#include "wl/color_refinement.h"
+
+namespace gelc {
+
+Result<Matrix> WlSubtreeKernelMatrix(const std::vector<const Graph*>& graphs,
+                                     int rounds) {
+  CrColoring coloring = RunColorRefinement(graphs, rounds);
+  size_t m = graphs.size();
+  // Per-graph sparse feature maps over (round, color).
+  std::vector<WlFeatureMap> features(m);
+  for (size_t r = 0; r < coloring.history.size(); ++r) {
+    for (size_t g = 0; g < m; ++g) {
+      for (uint64_t c : coloring.history[r][g]) {
+        features[g][{r, c}] += 1.0;
+      }
+    }
+  }
+  Matrix k(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i; j < m; ++j) {
+      double dot = 0.0;
+      // Iterate over the smaller map.
+      const WlFeatureMap& a = features[i].size() <= features[j].size()
+                                  ? features[i]
+                                  : features[j];
+      const WlFeatureMap& b = features[i].size() <= features[j].size()
+                                  ? features[j]
+                                  : features[i];
+      for (const auto& [key, value] : a) {
+        auto it = b.find(key);
+        if (it != b.end()) dot += value * it->second;
+      }
+      k.At(i, j) = dot;
+      k.At(j, i) = dot;
+    }
+  }
+  return k;
+}
+
+Matrix NormalizeKernel(const Matrix& kernel) {
+  size_t m = kernel.rows();
+  Matrix out(m, kernel.cols());
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < kernel.cols(); ++j) {
+      double denom = kernel.At(i, i) * kernel.At(j, j);
+      out.At(i, j) = denom > 0 ? kernel.At(i, j) / std::sqrt(denom) : 0.0;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<size_t>> KernelRidgePredict(
+    const Matrix& kernel, const std::vector<size_t>& labels,
+    size_t train_count, double lambda) {
+  size_t m = kernel.rows();
+  if (kernel.cols() != m) {
+    return Status::InvalidArgument("kernel matrix must be square");
+  }
+  if (labels.size() != m || train_count == 0 || train_count > m) {
+    return Status::InvalidArgument("bad labels / train_count");
+  }
+  // Train block.
+  Matrix k_train(train_count, train_count);
+  Matrix y(train_count, 1);
+  for (size_t i = 0; i < train_count; ++i) {
+    y.At(i, 0) = labels[i] == 1 ? 1.0 : -1.0;
+    for (size_t j = 0; j < train_count; ++j)
+      k_train.At(i, j) = kernel.At(i, j);
+  }
+  for (size_t i = 0; i < train_count; ++i) k_train.At(i, i) += lambda;
+  GELC_ASSIGN_OR_RETURN(Matrix alpha, SolveLinearSystem(k_train, y));
+  // Predict: f(x) = Σ_i alpha_i K(x_i, x).
+  std::vector<size_t> pred(m);
+  for (size_t x = 0; x < m; ++x) {
+    double score = 0.0;
+    for (size_t i = 0; i < train_count; ++i)
+      score += alpha.At(i, 0) * kernel.At(i, x);
+    pred[x] = score >= 0.0 ? 1 : 0;
+  }
+  return pred;
+}
+
+}  // namespace gelc

@@ -1,0 +1,51 @@
+// The Weisfeiler-Leman subtree kernel — the classical "graph kernel
+// method" hypothesis class of slide 17, built directly on the color
+// refinement of wl/color_refinement.h:
+//
+//   K_h(G, H) = Σ_{r=0..h} Σ_{colors c} count_G,r(c) * count_H,r(c),
+//
+// i.e. the inner product of per-round color histograms. Two graphs are
+// CR-equivalent iff their feature maps agree for every h — so the
+// kernel's separation power coincides with ρ(color refinement), placing
+// kernel methods at exactly the MPNN rung of the paper's ladder.
+#ifndef GELC_WL_KERNEL_H_
+#define GELC_WL_KERNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "base/status.h"
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+
+namespace gelc {
+
+/// Sparse WL feature map of one graph: per-round color counts.
+using WlFeatureMap = std::map<std::pair<size_t, uint64_t>, double>;
+
+/// Computes the h-round WL subtree kernel matrix K[i][j] for a set of
+/// graphs (colors are shared across the set, so entries are comparable).
+/// h < 0 runs to joint stability.
+Result<Matrix> WlSubtreeKernelMatrix(const std::vector<const Graph*>& graphs,
+                                     int rounds);
+
+/// Cosine-normalizes a kernel matrix: K̂(i,j) = K(i,j)/√(K(i,i)K(j,j)).
+/// Standard practice for WL kernels, whose deep-round features are nearly
+/// orthogonal across graphs (diagonal dominance) without it. Zero
+/// diagonal entries normalize to zero rows.
+Matrix NormalizeKernel(const Matrix& kernel);
+
+/// Kernel ridge classification on a precomputed kernel: fits
+/// alpha = (K + lambda I)^{-1} Y on the training block and predicts
+/// sign-based labels for all graphs. Returns predicted class (0/1) per
+/// graph. `labels` are 0/1; only the first `train_count` entries are
+/// used for fitting.
+Result<std::vector<size_t>> KernelRidgePredict(const Matrix& kernel,
+                                               const std::vector<size_t>& labels,
+                                               size_t train_count,
+                                               double lambda);
+
+}  // namespace gelc
+
+#endif  // GELC_WL_KERNEL_H_

@@ -1,0 +1,267 @@
+#include "wl/kwl.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "base/hash.h"
+#include "base/logging.h"
+#include "wl/color_refinement.h"
+
+namespace gelc {
+
+namespace {
+
+// Decodes tuple index t (mixed radix base n) into vertex ids, most
+// significant position first.
+void DecodeTuple(size_t t, size_t n, size_t k, std::vector<size_t>* tuple) {
+  tuple->resize(k);
+  for (size_t i = k; i-- > 0;) {
+    (*tuple)[i] = t % n;
+    t /= n;
+  }
+}
+
+std::string FeatureSignature(const Graph& g, size_t v) {
+  std::string buf(g.feature_dim() * sizeof(double), '\0');
+  for (size_t j = 0; j < g.feature_dim(); ++j) {
+    double x = g.features().At(v, j);
+    std::memcpy(buf.data() + j * sizeof(double), &x, sizeof(double));
+  }
+  return buf;
+}
+
+// Atomic type of an ordered k-tuple: per-position feature colors plus the
+// full equality and adjacency patterns.
+uint64_t AtomicType(const Graph& g, const std::vector<size_t>& tuple,
+                    const std::vector<uint64_t>& feature_colors,
+                    Interner* interner) {
+  std::vector<uint64_t> words;
+  size_t k = tuple.size();
+  for (size_t i = 0; i < k; ++i) words.push_back(feature_colors[tuple[i]]);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      uint64_t bits = 0;
+      if (tuple[i] == tuple[j]) bits |= 1;
+      if (i != j && g.HasEdge(static_cast<VertexId>(tuple[i]),
+                              static_cast<VertexId>(tuple[j])))
+        bits |= 2;
+      words.push_back(bits);
+    }
+  }
+  return interner->InternWords(words);
+}
+
+size_t CountDistinct(const std::vector<std::vector<uint64_t>>& colorings) {
+  std::vector<uint64_t> all;
+  for (const auto& c : colorings) all.insert(all.end(), c.begin(), c.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all.size();
+}
+
+size_t PowN(size_t n, size_t k) {
+  size_t r = 1;
+  for (size_t i = 0; i < k; ++i) r *= n;
+  return r;
+}
+
+}  // namespace
+
+std::vector<uint64_t> KwlColoring::GraphSignature(size_t g) const {
+  GELC_CHECK(g < stable.size());
+  std::vector<uint64_t> sig = stable[g];
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+uint64_t KwlColoring::TupleColor(size_t g, const std::vector<VertexId>& tuple,
+                                 size_t n) const {
+  GELC_CHECK(tuple.size() == k);
+  size_t idx = 0;
+  for (VertexId v : tuple) {
+    GELC_CHECK(v < n);
+    idx = idx * n + v;
+  }
+  return stable[g][idx];
+}
+
+Result<KwlColoring> RunKwl(const std::vector<const Graph*>& graphs, size_t k,
+                           int max_rounds) {
+  if (k == 0 || k > 4) {
+    return Status::InvalidArgument("k-WL supports k in [1, 4]");
+  }
+  if (k == 1) {
+    // Conventional identification: 1-WL == color refinement.
+    CrColoring cr = RunColorRefinement(graphs, max_rounds);
+    KwlColoring out;
+    out.k = 1;
+    out.stable = std::move(cr.stable);
+    out.rounds = cr.rounds;
+    return out;
+  }
+  // Guard against runaway table sizes (n^k tuples per graph).
+  for (const Graph* g : graphs) {
+    size_t tuples = PowN(g->num_vertices(), k);
+    if (tuples > 2'000'000) {
+      return Status::OutOfRange("k-WL tuple table too large (n^k > 2e6)");
+    }
+  }
+
+  Interner interner;
+  KwlColoring out;
+  out.k = k;
+  out.stable.resize(graphs.size());
+
+  // Initialization: atomic types.
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    const Graph& graph = *graphs[g];
+    size_t n = graph.num_vertices();
+    std::vector<uint64_t> feature_colors(n);
+    for (size_t v = 0; v < n; ++v)
+      feature_colors[v] = interner.Intern(FeatureSignature(graph, v));
+    size_t tuples = PowN(n, k);
+    out.stable[g].resize(tuples);
+    std::vector<size_t> tuple;
+    for (size_t t = 0; t < tuples; ++t) {
+      DecodeTuple(t, n, k, &tuple);
+      out.stable[g][t] = AtomicType(graph, tuple, feature_colors, &interner);
+    }
+  }
+
+  size_t prev_distinct = CountDistinct(out.stable);
+  for (size_t round = 1;; ++round) {
+    if (max_rounds >= 0 && round > static_cast<size_t>(max_rounds)) break;
+    std::vector<std::vector<uint64_t>> next(graphs.size());
+    for (size_t g = 0; g < graphs.size(); ++g) {
+      const Graph& graph = *graphs[g];
+      size_t n = graph.num_vertices();
+      size_t tuples = out.stable[g].size();
+      next[g].resize(tuples);
+      std::vector<size_t> tuple;
+      // Precomputed strides for substituting position j: replacing v_j by w
+      // changes the index by (w - v_j) * n^{k-1-j}.
+      std::vector<size_t> stride(k, 1);
+      for (size_t j = k; j-- > 1;) stride[j - 1] = stride[j] * n;
+      std::vector<uint64_t> wsigs;
+      std::vector<uint64_t> kvec(k);
+      for (size_t t = 0; t < tuples; ++t) {
+        DecodeTuple(t, n, k, &tuple);
+        wsigs.clear();
+        for (size_t w = 0; w < n; ++w) {
+          for (size_t j = 0; j < k; ++j) {
+            size_t idx = t + (w - tuple[j]) * stride[j];
+            kvec[j] = out.stable[g][idx];
+          }
+          wsigs.push_back(interner.InternWords(kvec));
+        }
+        std::sort(wsigs.begin(), wsigs.end());
+        std::vector<uint64_t> sig;
+        sig.reserve(wsigs.size() + 1);
+        sig.push_back(out.stable[g][t]);
+        sig.insert(sig.end(), wsigs.begin(), wsigs.end());
+        next[g][t] = interner.InternWords(sig);
+      }
+    }
+    size_t distinct = CountDistinct(next);
+    out.stable = std::move(next);
+    out.rounds = round;
+    if (distinct == prev_distinct) break;
+    prev_distinct = distinct;
+  }
+  return out;
+}
+
+Result<KwlColoring> RunObliviousKwl(const std::vector<const Graph*>& graphs,
+                                    size_t k, int max_rounds) {
+  if (k == 0 || k > 4) {
+    return Status::InvalidArgument("oblivious k-WL supports k in [1, 4]");
+  }
+  for (const Graph* g : graphs) {
+    size_t tuples = PowN(g->num_vertices(), k);
+    if (tuples > 2'000'000) {
+      return Status::OutOfRange("k-WL tuple table too large (n^k > 2e6)");
+    }
+  }
+
+  Interner interner;
+  KwlColoring out;
+  out.k = k;
+  out.stable.resize(graphs.size());
+
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    const Graph& graph = *graphs[g];
+    size_t n = graph.num_vertices();
+    std::vector<uint64_t> feature_colors(n);
+    for (size_t v = 0; v < n; ++v)
+      feature_colors[v] = interner.Intern(FeatureSignature(graph, v));
+    size_t tuples = PowN(n, k);
+    out.stable[g].resize(tuples);
+    std::vector<size_t> tuple;
+    for (size_t t = 0; t < tuples; ++t) {
+      DecodeTuple(t, n, k, &tuple);
+      out.stable[g][t] = AtomicType(graph, tuple, feature_colors, &interner);
+    }
+  }
+
+  size_t prev_distinct = CountDistinct(out.stable);
+  for (size_t round = 1;; ++round) {
+    if (max_rounds >= 0 && round > static_cast<size_t>(max_rounds)) break;
+    std::vector<std::vector<uint64_t>> next(graphs.size());
+    for (size_t g = 0; g < graphs.size(); ++g) {
+      const Graph& graph = *graphs[g];
+      size_t n = graph.num_vertices();
+      size_t tuples = out.stable[g].size();
+      next[g].resize(tuples);
+      std::vector<size_t> tuple;
+      std::vector<size_t> stride(k, 1);
+      for (size_t j = k; j-- > 1;) stride[j - 1] = stride[j] * n;
+      std::vector<uint64_t> position_colors;
+      for (size_t t = 0; t < tuples; ++t) {
+        DecodeTuple(t, n, k, &tuple);
+        std::vector<uint64_t> sig;
+        sig.push_back(out.stable[g][t]);
+        // Per position: the SORTED multiset over w of the single
+        // substituted color (no cross-position synchronization).
+        for (size_t j = 0; j < k; ++j) {
+          position_colors.clear();
+          for (size_t w = 0; w < n; ++w) {
+            size_t idx = t + (w - tuple[j]) * stride[j];
+            position_colors.push_back(out.stable[g][idx]);
+          }
+          std::sort(position_colors.begin(), position_colors.end());
+          sig.push_back(interner.InternWords(position_colors));
+        }
+        next[g][t] = interner.InternWords(sig);
+      }
+    }
+    size_t distinct = CountDistinct(next);
+    out.stable = std::move(next);
+    out.rounds = round;
+    if (distinct == prev_distinct) break;
+    prev_distinct = distinct;
+  }
+  return out;
+}
+
+Result<bool> ObliviousKwlEquivalentGraphs(const Graph& a, const Graph& b,
+                                          size_t k) {
+  GELC_ASSIGN_OR_RETURN(KwlColoring c, RunObliviousKwl({&a, &b}, k));
+  return c.GraphSignature(0) == c.GraphSignature(1);
+}
+
+Result<bool> KwlEquivalentGraphs(const Graph& a, const Graph& b, size_t k) {
+  GELC_ASSIGN_OR_RETURN(KwlColoring c, RunKwl({&a, &b}, k));
+  return c.GraphSignature(0) == c.GraphSignature(1);
+}
+
+Result<size_t> MinimalSeparatingK(const Graph& a, const Graph& b,
+                                  size_t k_max) {
+  for (size_t k = 1; k <= k_max; ++k) {
+    GELC_ASSIGN_OR_RETURN(bool equivalent, KwlEquivalentGraphs(a, b, k));
+    if (!equivalent) return k;
+  }
+  return size_t{0};
+}
+
+}  // namespace gelc

@@ -1,0 +1,125 @@
+// Tests for static analysis: variable width (GEL^k classification) and the
+// MPNN-fragment checker (slides 35, 62).
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+
+namespace gelc {
+namespace {
+
+ExprPtr DegreeExpr() {
+  return *Expr::Aggregate(theta::Sum(1), VarBit(1), *Expr::Constant({1.0}),
+                          *Expr::Edge(0, 1));
+}
+
+TEST(AnalysisTest, WidthOfAtoms) {
+  EXPECT_EQ(VariableWidth(*Expr::Label(0, 0)), 1u);
+  EXPECT_EQ(VariableWidth(*Expr::Edge(0, 1)), 2u);
+  EXPECT_EQ(VariableWidth(*Expr::Constant({1.0})), 0u);
+  EXPECT_EQ(VariableWidth(nullptr), 0u);
+}
+
+TEST(AnalysisTest, WidthCountsBoundVariables) {
+  ExprPtr deg = DegreeExpr();
+  EXPECT_EQ(VariableWidth(deg), 2u);
+  // Width-3 triangle guard.
+  ExprPtr g = *Expr::Apply(
+      omega::Multiply(1),
+      {*Expr::Apply(omega::Multiply(1), {*Expr::Edge(0, 1),
+                                         *Expr::Edge(1, 2)}),
+       *Expr::Edge(2, 0)});
+  ExprPtr tri = *Expr::Aggregate(theta::Sum(1), VarBit(1) | VarBit(2),
+                                 *Expr::Constant({1.0}), g);
+  EXPECT_EQ(VariableWidth(tri), 3u);
+}
+
+TEST(AnalysisTest, DegreeIsMpnnFragment) {
+  EXPECT_TRUE(CheckMpnnFragment(DegreeExpr()).ok());
+}
+
+TEST(AnalysisTest, ReadoutIsMpnnFragment) {
+  ExprPtr readout =
+      *Expr::Aggregate(theta::Sum(1), VarBit(0), DegreeExpr(), nullptr);
+  EXPECT_TRUE(CheckMpnnFragment(readout).ok());
+}
+
+TEST(AnalysisTest, ThirdVariableBreaksFragment) {
+  ExprPtr deg_x1 = *Expr::Aggregate(theta::Sum(1), VarBit(2),
+                                    *Expr::Constant({1.0}),
+                                    *Expr::Edge(1, 2));
+  ExprPtr two_hop = *Expr::Aggregate(theta::Sum(1), VarBit(1), deg_x1,
+                                     *Expr::Edge(0, 1));
+  Status s = CheckMpnnFragment(two_hop);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("x2"), std::string::npos);
+}
+
+TEST(AnalysisTest, UnguardedEdgeAtomBreaksFragment) {
+  // An edge atom used as a value, not a guard.
+  ExprPtr raw_edge = *Expr::Aggregate(theta::Sum(1), VarBit(1),
+                                      *Expr::Edge(0, 1), nullptr);
+  Status s = CheckMpnnFragment(raw_edge);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("edge atom"), std::string::npos);
+}
+
+TEST(AnalysisTest, EqualityAtomBreaksFragment) {
+  ExprPtr eq = *Expr::Compare(0, 1, CmpOp::kNeq);
+  ExprPtr agg = *Expr::Aggregate(theta::Sum(1), VarBit(1),
+                                 *Expr::Constant({1.0}), eq);
+  EXPECT_FALSE(CheckMpnnFragment(agg).ok());
+}
+
+TEST(AnalysisTest, NonEdgeGuardBreaksFragment) {
+  // Guard that is a function application, not a bare edge atom.
+  ExprPtr guard = *Expr::Apply(omega::Multiply(1),
+                               {*Expr::Edge(0, 1), *Expr::Edge(0, 1)});
+  ExprPtr agg = *Expr::Aggregate(theta::Sum(1), VarBit(1),
+                                 *Expr::Constant({1.0}), guard);
+  EXPECT_FALSE(CheckMpnnFragment(agg).ok());
+}
+
+TEST(AnalysisTest, MultiVariableBindingBreaksFragment) {
+  ExprPtr guard = *Expr::Edge(0, 1);
+  // Aggregate binding both x0 and x1 at once.
+  ExprPtr agg = *Expr::Aggregate(theta::Sum(1), VarBit(0) | VarBit(1),
+                                 *Expr::Constant({1.0}), guard);
+  EXPECT_FALSE(CheckMpnnFragment(agg).ok());
+}
+
+TEST(AnalysisTest, GlobalAggregateOverForeignVariableBreaksFragment) {
+  // Global aggregate of lab(x0) binding x1: value mentions a variable it
+  // does not bind.
+  ExprPtr agg = *Expr::Aggregate(theta::Sum(1), VarBit(1),
+                                 *Expr::Label(0, 0), nullptr);
+  EXPECT_FALSE(CheckMpnnFragment(agg).ok());
+}
+
+TEST(AnalysisTest, AnalyzeSummary) {
+  ExprAnalysis a = Analyze(DegreeExpr());
+  EXPECT_EQ(a.dim, 1u);
+  EXPECT_EQ(a.width, 2u);
+  EXPECT_EQ(a.aggregation_depth, 1u);
+  EXPECT_TRUE(a.is_mpnn_fragment);
+  EXPECT_NE(a.separation_bound.find("color refinement"), std::string::npos);
+
+  ExprPtr g3 = *Expr::Apply(
+      omega::Multiply(1),
+      {*Expr::Apply(omega::Multiply(1), {*Expr::Edge(0, 1),
+                                         *Expr::Edge(1, 2)}),
+       *Expr::Edge(2, 0)});
+  ExprPtr tri = *Expr::Aggregate(theta::Sum(1), VarBit(1) | VarBit(2),
+                                 *Expr::Constant({1.0}), g3);
+  ExprAnalysis a3 = Analyze(tri);
+  EXPECT_FALSE(a3.is_mpnn_fragment);
+  EXPECT_EQ(a3.separation_bound, "2-WL");
+}
+
+TEST(AnalysisTest, NullAnalyzeIsEmpty) {
+  ExprAnalysis a = Analyze(nullptr);
+  EXPECT_EQ(a.dim, 0u);
+  EXPECT_EQ(a.width, 0u);
+}
+
+}  // namespace
+}  // namespace gelc

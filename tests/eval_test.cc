@@ -1,0 +1,242 @@
+// Tests for the GEL(Ω,Θ) evaluator: semantics of every node kind, guards,
+// memoization, and invariance of evaluated embeddings (slide 11).
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/eval.h"
+#include "graph/generators.h"
+
+namespace gelc {
+namespace {
+
+// Degree expression: agg[sum]_{x1}(1 | E(x0,x1)).
+ExprPtr DegreeExpr() {
+  return *Expr::Aggregate(theta::Sum(1), VarBit(1), *Expr::Constant({1.0}),
+                          *Expr::Edge(0, 1));
+}
+
+// Triangle-count-at-vertex expression (width 3):
+// agg[sum]_{x1,x2}(1 | E(x0,x1)*E(x1,x2)*E(x2,x0)).
+ExprPtr TriangleExpr() {
+  ExprPtr g = *Expr::Apply(
+      omega::Multiply(1),
+      {*Expr::Apply(omega::Multiply(1), {*Expr::Edge(0, 1),
+                                         *Expr::Edge(1, 2)}),
+       *Expr::Edge(2, 0)});
+  return *Expr::Aggregate(theta::Sum(1), VarBit(1) | VarBit(2),
+                          *Expr::Constant({1.0}), g);
+}
+
+TEST(EvalTest, LabelReadsFeatures) {
+  Graph g(3, 2);
+  g.SetOneHotFeature(0, 1);
+  g.SetOneHotFeature(1, 0);
+  g.SetOneHotFeature(2, 1);
+  Evaluator eval(g);
+  Matrix lab1 = *eval.EvalVertex(*Expr::Label(1, 0));
+  EXPECT_EQ(lab1, Matrix({{1}, {0}, {1}}));
+  // Out-of-range label index errors.
+  EXPECT_FALSE(eval.EvalVertex(*Expr::Label(5, 0)).ok());
+}
+
+TEST(EvalTest, EdgeTableMatchesAdjacency) {
+  Graph g = PathGraph(3);
+  Evaluator eval(g);
+  EvalTable t = *eval.Eval(*Expr::Edge(0, 1));
+  for (VertexId u = 0; u < 3; ++u)
+    for (VertexId v = 0; v < 3; ++v)
+      EXPECT_EQ(t.data[u * 3 + v] == 1.0, g.HasEdge(u, v));
+}
+
+TEST(EvalTest, EdgeTableRespectsVariableOrder) {
+  // E(x1, x0): table layout is ascending by variable, so entry (a, b)
+  // corresponds to x0 = a, x1 = b, i.e. edge b -> a.
+  Graph g(2, 1, /*directed=*/true);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  Evaluator eval(g);
+  EvalTable t = *eval.Eval(*Expr::Edge(1, 0));
+  EXPECT_EQ(t.data[0 * 2 + 1], 0.0);  // x0=0, x1=1: edge 1->0? no
+  EXPECT_EQ(t.data[1 * 2 + 0], 1.0);  // x0=1, x1=0: edge 0->1? yes
+}
+
+TEST(EvalTest, CompareTable) {
+  Graph g = Graph::Unlabeled(3);
+  Evaluator eval(g);
+  EvalTable eq = *eval.Eval(*Expr::Compare(0, 1, CmpOp::kEq));
+  EvalTable ne = *eval.Eval(*Expr::Compare(0, 1, CmpOp::kNeq));
+  for (size_t a = 0; a < 3; ++a)
+    for (size_t b = 0; b < 3; ++b) {
+      EXPECT_EQ(eq.data[a * 3 + b], a == b ? 1.0 : 0.0);
+      EXPECT_EQ(ne.data[a * 3 + b], a != b ? 1.0 : 0.0);
+    }
+}
+
+TEST(EvalTest, ConstantClosed) {
+  Graph g = PathGraph(2);
+  Evaluator eval(g);
+  std::vector<double> v = *eval.EvalClosed(*Expr::Constant({2.5, -1.0}));
+  EXPECT_EQ(v, (std::vector<double>{2.5, -1.0}));
+}
+
+TEST(EvalTest, DegreeExpression) {
+  Graph star = StarGraph(4);
+  Evaluator eval(star);
+  Matrix deg = *eval.EvalVertex(DegreeExpr());
+  EXPECT_EQ(deg.At(0, 0), 4.0);
+  for (size_t v = 1; v <= 4; ++v) EXPECT_EQ(deg.At(v, 0), 1.0);
+}
+
+TEST(EvalTest, TriangleExpressionCounts) {
+  Evaluator eval_k4(CompleteGraph(4));
+  Matrix t = *eval_k4.EvalVertex(TriangleExpr());
+  // Each vertex of K4 lies on 3 triangles; ordered (x1,x2) pairs double it.
+  EXPECT_EQ(t.At(0, 0), 6.0);
+  Evaluator eval_c5(CycleGraph(5));
+  Matrix t5 = *eval_c5.EvalVertex(TriangleExpr());
+  EXPECT_EQ(t5.At(0, 0), 0.0);
+}
+
+TEST(EvalTest, MeanAndMaxAggregates) {
+  // Star with labelled leaves: hub aggregates leaf labels.
+  Graph g(4, 1);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  g.mutable_features().At(1, 0) = 3.0;
+  g.mutable_features().At(2, 0) = 6.0;
+  g.mutable_features().At(3, 0) = -3.0;
+  ExprPtr val = *Expr::Label(0, 1);
+  ExprPtr guard = *Expr::Edge(0, 1);
+  Evaluator eval(g);
+  Matrix mean = *eval.EvalVertex(
+      *Expr::Aggregate(theta::Mean(1), VarBit(1), val, guard));
+  Matrix mx = *eval.EvalVertex(
+      *Expr::Aggregate(theta::Max(1), VarBit(1), val, guard));
+  EXPECT_EQ(mean.At(0, 0), 2.0);
+  EXPECT_EQ(mx.At(0, 0), 6.0);
+  // Leaves see only the hub (label 0).
+  EXPECT_EQ(mean.At(1, 0), 0.0);
+  EXPECT_EQ(mx.At(1, 0), 0.0);
+}
+
+TEST(EvalTest, CountAggregateIgnoresValues) {
+  Graph g = CycleGraph(5);
+  Evaluator eval(g);
+  ExprPtr cnt = *Expr::Aggregate(theta::Count(1), VarBit(1),
+                                 *Expr::Label(0, 1), *Expr::Edge(0, 1));
+  Matrix c = *eval.EvalVertex(cnt);
+  for (size_t v = 0; v < 5; ++v) EXPECT_EQ(c.At(v, 0), 2.0);
+}
+
+TEST(EvalTest, GuardZeroMeansExcluded) {
+  // Guard lab0(x1): aggregate only over vertices with label 1.
+  Graph g(3, 1);
+  g.mutable_features().At(0, 0) = 0.0;
+  g.mutable_features().At(1, 0) = 1.0;
+  g.mutable_features().At(2, 0) = 1.0;
+  ExprPtr agg = *Expr::Aggregate(theta::Count(1), VarBit(1),
+                                 *Expr::Constant({1.0}),
+                                 *Expr::Label(0, 1));
+  Evaluator eval(g);
+  std::vector<double> v = *eval.EvalClosed(agg);
+  EXPECT_EQ(v[0], 2.0);
+}
+
+TEST(EvalTest, GlobalAggregationClosed) {
+  Graph g = PathGraph(4);
+  Evaluator eval(g);
+  ExprPtr total_degree = *Expr::Aggregate(theta::Sum(1), VarBit(0),
+                                          DegreeExpr(), nullptr);
+  std::vector<double> v = *eval.EvalClosed(total_degree);
+  EXPECT_EQ(v[0], 6.0);  // 2m = 6
+}
+
+TEST(EvalTest, NestedAggregation) {
+  // Sum over neighbors of their degrees: the 2-hop walk count.
+  Graph p = PathGraph(4);
+  // deg(x1) needs its own variable naming: deg of x1 = agg_{x0}(1|E(x1,x0)).
+  ExprPtr deg_x1 = *Expr::Aggregate(theta::Sum(1), VarBit(2),
+                                    *Expr::Constant({1.0}),
+                                    *Expr::Edge(1, 2));
+  ExprPtr two_hop = *Expr::Aggregate(theta::Sum(1), VarBit(1), deg_x1,
+                                     *Expr::Edge(0, 1));
+  Evaluator eval(p);
+  Matrix w = *eval.EvalVertex(two_hop);
+  EXPECT_EQ(w.At(0, 0), 2.0);
+  EXPECT_EQ(w.At(1, 0), 3.0);
+}
+
+TEST(EvalTest, ApplyComposesWithAggregation) {
+  Graph g = CycleGraph(4);
+  ExprPtr deg = DegreeExpr();
+  ExprPtr squared = *Expr::Apply(omega::Multiply(1), {deg, deg});
+  Evaluator eval(g);
+  Matrix v = *eval.EvalVertex(squared);
+  EXPECT_EQ(v.At(0, 0), 4.0);
+}
+
+TEST(EvalTest, MemoizationReusesTables) {
+  Graph g = CompleteGraph(6);
+  ExprPtr deg = DegreeExpr();
+  // Shared subtree: both children of the Apply point to the same node.
+  ExprPtr squared = *Expr::Apply(omega::Multiply(1), {deg, deg});
+  Evaluator memo(g);
+  Evaluator no_memo(g, Evaluator::Options{/*memoize=*/false, 50'000'000});
+  EXPECT_EQ((*memo.EvalVertex(squared)), (*no_memo.EvalVertex(squared)));
+}
+
+TEST(EvalTest, BudgetGuardsAgainstHugeTables) {
+  Graph g = Graph::Unlabeled(50);
+  // A 4-variable conjunction forces an n^4 table.
+  ExprPtr e01 = *Expr::Edge(0, 1);
+  ExprPtr e23 = *Expr::Edge(2, 3);
+  ExprPtr both = *Expr::Apply(omega::Multiply(1), {e01, e23});
+  Evaluator eval(g, Evaluator::Options{true, /*max_table_entries=*/1000});
+  EXPECT_EQ(eval.Eval(both).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EvalTest, EvalClosedRejectsOpenExpression) {
+  Graph g = PathGraph(3);
+  Evaluator eval(g);
+  EXPECT_FALSE(eval.EvalClosed(DegreeExpr()).ok());
+  EXPECT_FALSE(eval.EvalVertex(*Expr::Edge(0, 1)).ok());
+}
+
+TEST(EvalTest, TwoVertexEmbeddingTable) {
+  // Link-style 2-vertex embedding: common-neighbor count of (x0, x1).
+  ExprPtr common =
+      *Expr::Aggregate(theta::Sum(1), VarBit(2), *Expr::Constant({1.0}),
+                       *Expr::Apply(omega::Multiply(1),
+                                    {*Expr::Edge(0, 2), *Expr::Edge(1, 2)}));
+  Graph g = CompleteGraph(4);
+  Evaluator eval(g);
+  EvalTable t = *eval.Eval(common);
+  EXPECT_EQ(VarSetSize(t.vars), 2u);
+  // In K4 any ordered pair (u, v), u != v, has 2 common neighbors;
+  // (u, u) has 3 ("common" with itself).
+  EXPECT_EQ(t.data[0 * 4 + 1], 2.0);
+  EXPECT_EQ(t.data[0 * 4 + 0], 3.0);
+}
+
+TEST(EvalTest, InvarianceOfGelEmbeddings) {
+  Rng rng(77);
+  ExprPtr tri = TriangleExpr();
+  ExprPtr closed = *Expr::Aggregate(theta::Sum(1), VarBit(0), tri, nullptr);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = RandomGnp(8, 0.45, &rng);
+    std::vector<size_t> perm = rng.Permutation(8);
+    Graph h = g.Permuted(perm).value();
+    Evaluator eg(g);
+    Evaluator eh(h);
+    // Closed (graph-level) value is identical.
+    EXPECT_EQ((*eg.EvalClosed(closed))[0], (*eh.EvalClosed(closed))[0]);
+    // Vertex-level values transport along the permutation.
+    Matrix vg = *eg.EvalVertex(tri);
+    Matrix vh = *eh.EvalVertex(tri);
+    for (size_t v = 0; v < 8; ++v)
+      EXPECT_EQ(vg.At(v, 0), vh.At(perm[v], 0));
+  }
+}
+
+}  // namespace
+}  // namespace gelc

@@ -1,0 +1,260 @@
+// Property-based fuzzing across modules:
+//   - random GEL expressions are invariant under graph isomorphism;
+//   - random MPNN-fragment expressions agree with their normal form;
+//   - evaluator memoization never changes results;
+//   - minimization never changes semantics or increases width;
+//   - random tape programs match finite-difference gradients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/tape.h"
+#include "base/rng.h"
+#include "core/analysis.h"
+#include "core/eval.h"
+#include "core/normal_form.h"
+#include "core/rewrite.h"
+#include "graph/generators.h"
+
+namespace gelc {
+namespace {
+
+constexpr size_t kFeatureDim = 2;
+
+Graph RandomLabelledGraph(Rng* rng, size_t max_n = 8) {
+  size_t n = 4 + rng->NextBounded(max_n - 3);
+  Graph g(n, kFeatureDim);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = u + 1; v < n; ++v)
+      if (rng->NextBernoulli(0.4)) {
+          EXPECT_TRUE(g.AddEdge(static_cast<VertexId>(u),
+          static_cast<VertexId>(v))
+          .ok());
+      }
+    g.SetOneHotFeature(static_cast<VertexId>(u),
+                       rng->NextBounded(kFeatureDim));
+  }
+  return g;
+}
+
+// Random GEL expression with one free variable `free_var`, up to `depth`
+// levels of structure and up to 3 total variables.
+ExprPtr RandomVertexExpr(Rng* rng, Var free_var, size_t depth) {
+  if (depth == 0) {
+    switch (rng->NextBounded(3)) {
+      case 0:
+        return *Expr::Label(rng->NextBounded(kFeatureDim), free_var);
+      case 1:
+        return *Expr::Constant({rng->NextUniform(-1, 1)});
+      default: {
+        // Degree-flavoured aggregate over a fresh variable.
+        Var bound = (free_var + 1) % 3;
+        return *Expr::Aggregate(theta::Sum(1), VarBit(bound),
+                                *Expr::Constant({1.0}),
+                                *Expr::Edge(free_var, bound));
+      }
+    }
+  }
+  switch (rng->NextBounded(5)) {
+    case 0:
+      return *Expr::Apply(omega::ActivationFn(Activation::kTanh, 1),
+                          {RandomVertexExpr(rng, free_var, depth - 1)});
+    case 1:
+      return *Expr::Apply(omega::Add(1),
+                          {RandomVertexExpr(rng, free_var, depth - 1),
+                           RandomVertexExpr(rng, free_var, depth - 1)});
+    case 2:
+      return *Expr::Apply(omega::Multiply(1),
+                          {RandomVertexExpr(rng, free_var, depth - 1),
+                           RandomVertexExpr(rng, free_var, depth - 1)});
+    case 3: {
+      // Neighborhood aggregate of a subexpression of the bound variable.
+      Var bound = (free_var + 1) % 3;
+      ThetaPtr agg = rng->NextBounded(2) ? theta::Sum(1) : theta::Mean(1);
+      return *Expr::Aggregate(agg, VarBit(bound),
+                              RandomVertexExpr(rng, bound, depth - 1),
+                              *Expr::Edge(free_var, bound));
+    }
+    default: {
+      // Guarded count with an equality-constrained two-variable guard.
+      Var bound = (free_var + 2) % 3;
+      ExprPtr guard = *Expr::Apply(
+          omega::Multiply(1),
+          {*Expr::Edge(free_var, bound),
+           *Expr::Compare(free_var, bound, CmpOp::kNeq)});
+      return *Expr::Aggregate(theta::Count(1), VarBit(bound),
+                              *Expr::Constant({1.0}), std::move(guard));
+    }
+  }
+}
+
+class GelInvarianceFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GelInvarianceFuzz, ExpressionInvariantUnderIsomorphism) {
+  Rng rng(GetParam() * 15013);
+  ExprPtr e = RandomVertexExpr(&rng, 0, 1 + rng.NextBounded(3));
+  if (e->free_vars() != VarBit(0)) {
+    // Constant-only draws may have no free variables; still fine to test.
+    if (e->free_vars() != 0) GTEST_SKIP();
+  }
+  Graph g = RandomLabelledGraph(&rng);
+  std::vector<size_t> perm = rng.Permutation(g.num_vertices());
+  Graph h = g.Permuted(perm).value();
+  Evaluator eg(g);
+  Evaluator eh(h);
+  if (e->free_vars() == 0) {
+    std::vector<double> vg = *eg.EvalClosed(e);
+    std::vector<double> vh = *eh.EvalClosed(e);
+    for (size_t j = 0; j < vg.size(); ++j) EXPECT_NEAR(vg[j], vh[j], 1e-9);
+    return;
+  }
+  Matrix vg = *eg.EvalVertex(e);
+  Matrix vh = *eh.EvalVertex(e);
+  for (size_t v = 0; v < g.num_vertices(); ++v)
+    for (size_t j = 0; j < vg.cols(); ++j)
+      EXPECT_NEAR(vg.At(v, j), vh.At(perm[v], j), 1e-9)
+          << e->ToString() << " at vertex " << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GelInvarianceFuzz,
+                         ::testing::Range<uint64_t>(1, 31));
+
+class MemoFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemoFuzz, MemoizationDoesNotChangeResults) {
+  Rng rng(GetParam() * 77023);
+  ExprPtr e = RandomVertexExpr(&rng, 0, 1 + rng.NextBounded(3));
+  Graph g = RandomLabelledGraph(&rng);
+  Evaluator memo(g);
+  Evaluator plain(g, Evaluator::Options{false, 50'000'000});
+  EvalTable a = *memo.Eval(e);
+  EvalTable b = *plain.Eval(e);
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (size_t i = 0; i < a.data.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.data[i], b.data[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoFuzz, ::testing::Range<uint64_t>(1, 13));
+
+// Random MPNN-fragment expressions (strictly 2 variables, guarded):
+// normal form must agree with direct evaluation.
+ExprPtr RandomFragmentExpr(Rng* rng, Var v, size_t depth) {
+  if (depth == 0) {
+    if (rng->NextBounded(2)) {
+      return *Expr::Label(rng->NextBounded(kFeatureDim), v);
+    }
+    return *Expr::Constant({rng->NextUniform(-1, 1)});
+  }
+  switch (rng->NextBounded(4)) {
+    case 0:
+      return *Expr::Apply(omega::ActivationFn(Activation::kReLU, 1),
+                          {RandomFragmentExpr(rng, v, depth - 1)});
+    case 1:
+      return *Expr::Apply(omega::Add(1),
+                          {RandomFragmentExpr(rng, v, depth - 1),
+                           RandomFragmentExpr(rng, v, depth - 1)});
+    default: {
+      Var other = v == 0 ? 1 : 0;
+      ThetaPtr agg;
+      switch (rng->NextBounded(3)) {
+        case 0:
+          agg = theta::Sum(1);
+          break;
+        case 1:
+          agg = theta::Mean(1);
+          break;
+        default:
+          agg = theta::Max(1);
+          break;
+      }
+      return *Expr::Aggregate(agg, VarBit(other),
+                              RandomFragmentExpr(rng, other, depth - 1),
+                              *Expr::Edge(v, other));
+    }
+  }
+}
+
+class NormalFormFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NormalFormFuzz, FragmentNormalFormAgrees) {
+  Rng rng(GetParam() * 90001);
+  ExprPtr e = RandomFragmentExpr(&rng, 0, 2 + rng.NextBounded(2));
+  ASSERT_TRUE(CheckMpnnFragment(e).ok()) << e->ToString();
+  Result<NormalFormProgram> p = NormalFormProgram::Normalize(e);
+  ASSERT_TRUE(p.ok());
+  Graph g = RandomLabelledGraph(&rng);
+  Evaluator eval(g);
+  if (e->free_vars() == 0) GTEST_SKIP();
+  Matrix direct = *eval.EvalVertex(e);
+  Matrix layered = *p->Run(g);
+  EXPECT_TRUE(direct.AllClose(layered, 1e-10)) << e->ToString();
+
+  // Minimization is a no-op semantically.
+  ExprPtr m = *MinimizeVariables(e);
+  EXPECT_LE(VariableWidth(m), VariableWidth(e));
+  Matrix minimized = *eval.EvalVertex(m);
+  EXPECT_TRUE(direct.AllClose(minimized, 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalFormFuzz,
+                         ::testing::Range<uint64_t>(1, 25));
+
+// Random tape programs vs finite differences.
+class TapeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TapeFuzz, RandomProgramGradientsMatchFiniteDifference) {
+  Rng rng(GetParam() * 31013);
+  size_t rows = 2 + rng.NextBounded(3);
+  size_t cols = 2 + rng.NextBounded(3);
+  Parameter p(Matrix::RandomGaussian(rows, cols, 0.5, &rng));
+  Matrix x = Matrix::RandomGaussian(cols, rows, 0.7, &rng);
+  Matrix target = Matrix::RandomGaussian(rows, rows, 0.7, &rng);
+  int plan = static_cast<int>(rng.NextBounded(4));
+
+  auto build = [&](Tape* t) -> ValueId {
+    ValueId w = t->Param(&p);
+    ValueId h = t->MatMul(w, t->Input(x));  // rows x rows
+    switch (plan) {
+      case 0:
+        h = t->Act(Activation::kTanh, h);
+        break;
+      case 1:
+        h = t->Hadamard(h, h);
+        break;
+      case 2:
+        h = t->Add(t->Act(Activation::kSigmoid, h), h);
+        break;
+      default:
+        h = t->Scale(h, -0.7);
+        break;
+    }
+    return t->Mse(h, target);
+  };
+
+  p.ZeroGrad();
+  {
+    Tape t;
+    t.Backward(build(&t));
+  }
+  Matrix analytic = p.grad;
+  const double eps = 1e-6;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      double orig = p.value.At(r, c);
+      p.value.At(r, c) = orig + eps;
+      Tape up;
+      double fu = up.value(build(&up)).At(0, 0);
+      p.value.At(r, c) = orig - eps;
+      Tape down;
+      double fd = down.value(build(&down)).At(0, 0);
+      p.value.At(r, c) = orig;
+      EXPECT_NEAR(analytic.At(r, c), (fu - fd) / (2 * eps), 1e-4)
+          << "plan " << plan;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TapeFuzz, ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace gelc

@@ -1,0 +1,98 @@
+// Tests for the WL subtree kernel and kernel ridge classification
+// (slide 17's "graph kernel methods" hypothesis class).
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "graph/generators.h"
+#include "wl/kernel.h"
+
+namespace gelc {
+namespace {
+
+TEST(WlKernelTest, SymmetricPositiveDiagonal) {
+  Rng rng(1);
+  Graph a = RandomGnp(8, 0.4, &rng);
+  Graph b = RandomGnp(8, 0.4, &rng);
+  Graph c = CycleGraph(8);
+  Matrix k = *WlSubtreeKernelMatrix({&a, &b, &c}, 3);
+  EXPECT_EQ(k.rows(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(k.At(i, i), 0.0);
+    for (size_t j = 0; j < 3; ++j) EXPECT_EQ(k.At(i, j), k.At(j, i));
+  }
+}
+
+TEST(WlKernelTest, IsomorphicGraphsHaveEqualRows) {
+  Rng rng(2);
+  Graph g = RandomGnp(9, 0.4, &rng);
+  Graph h = g.Permuted(rng.Permutation(9)).value();
+  Graph other = RandomGnp(9, 0.4, &rng);
+  Matrix k = *WlSubtreeKernelMatrix({&g, &h, &other}, -1);
+  EXPECT_EQ(k.At(0, 0), k.At(1, 1));
+  EXPECT_EQ(k.At(0, 2), k.At(1, 2));
+  EXPECT_EQ(k.At(0, 0), k.At(0, 1));  // self-similarity == cross-similarity
+}
+
+TEST(WlKernelTest, CrEquivalentPairIndistinguishable) {
+  // The kernel feature map is exactly the CR color histogram sequence:
+  // on a CR-equivalent pair the rows coincide (the kernel is stuck at the
+  // same rung of the ladder as MPNNs).
+  auto [c6, two_c3] = Cr_HardPair();
+  Graph probe = PathGraph(6);
+  Matrix k = *WlSubtreeKernelMatrix({&c6, &two_c3, &probe}, -1);
+  EXPECT_EQ(k.At(0, 0), k.At(1, 1));
+  EXPECT_EQ(k.At(0, 1), k.At(0, 0));
+  EXPECT_EQ(k.At(0, 2), k.At(1, 2));
+}
+
+TEST(WlKernelTest, MoreRoundsRefine) {
+  // K at round 0 only sees label counts; deeper rounds add structure.
+  Graph p = PathGraph(6);
+  Graph c = CycleGraph(6);
+  Matrix k0 = *WlSubtreeKernelMatrix({&p, &c}, 0);
+  // Same size, same (uniform) labels: round-0 features identical.
+  EXPECT_EQ(k0.At(0, 0), k0.At(0, 1));
+  Matrix k2 = *WlSubtreeKernelMatrix({&p, &c}, 2);
+  // Round >= 1 separates by degree histogram.
+  EXPECT_NE(k2.At(0, 0), k2.At(0, 1));
+}
+
+TEST(KernelRidgeTest, Validation) {
+  Matrix k(3, 3);
+  EXPECT_FALSE(KernelRidgePredict(Matrix(2, 3), {0, 1}, 1, 1.0).ok());
+  EXPECT_FALSE(KernelRidgePredict(k, {0, 1}, 1, 1.0).ok());     // label size
+  EXPECT_FALSE(KernelRidgePredict(k, {0, 1, 0}, 0, 1.0).ok());  // no train
+  EXPECT_FALSE(KernelRidgePredict(k, {0, 1, 0}, 5, 1.0).ok());
+}
+
+TEST(NormalizeKernelTest, UnitDiagonalAndZeroHandling) {
+  Matrix k = {{4.0, 2.0, 0.0}, {2.0, 9.0, 0.0}, {0.0, 0.0, 0.0}};
+  Matrix n = NormalizeKernel(k);
+  EXPECT_DOUBLE_EQ(n.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(n.At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(n.At(0, 1), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(n.At(2, 2), 0.0);  // zero diagonal -> zero row
+  EXPECT_DOUBLE_EQ(n.At(0, 2), 0.0);
+}
+
+TEST(KernelRidgeTest, LearnsMoleculesViaWlKernel) {
+  // Kernel methods as a hypothesis class (slide 17): classify the
+  // synthetic molecule dataset with the (normalized) WL kernel + ridge.
+  Rng rng(3);
+  GraphDataset ds = SyntheticMolecules(200, &rng);
+  std::vector<const Graph*> ptrs;
+  for (const Graph& g : ds.graphs) ptrs.push_back(&g);
+  Matrix k = NormalizeKernel(*WlSubtreeKernelMatrix(ptrs, 3));
+  size_t train = 150;
+  std::vector<size_t> pred =
+      *KernelRidgePredict(k, ds.labels, train, /*lambda=*/0.01);
+  size_t test_hits = 0;
+  for (size_t i = train; i < ds.graphs.size(); ++i)
+    if (pred[i] == ds.labels[i]) ++test_hits;
+  double acc = static_cast<double>(test_hits) /
+               static_cast<double>(ds.graphs.size() - train);
+  EXPECT_GT(acc, 0.75) << "WL-kernel ridge should solve ring detection";
+}
+
+}  // namespace
+}  // namespace gelc

@@ -1,0 +1,80 @@
+// Tests for the dense solver and ridge regression.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "tensor/linalg.h"
+
+namespace gelc {
+namespace {
+
+TEST(SolveTest, KnownSystem) {
+  Matrix a = {{2, 1}, {1, 3}};
+  Matrix b = {{5}, {10}};
+  Matrix x = *SolveLinearSystem(a, b);
+  EXPECT_NEAR(x.At(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x.At(1, 0), 3.0, 1e-12);
+}
+
+TEST(SolveTest, IdentityGivesRhs) {
+  Matrix b = {{1, 2}, {3, 4}, {5, 6}};
+  Matrix x = *SolveLinearSystem(Matrix::Identity(3), b);
+  EXPECT_TRUE(x.AllClose(b, 1e-12));
+}
+
+TEST(SolveTest, RandomSystemsRoundTrip) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 2 + rng.NextBounded(8);
+    Matrix a = Matrix::RandomGaussian(n, n, 1.0, &rng);
+    for (size_t i = 0; i < n; ++i) a.At(i, i) += 3.0;  // well-conditioned
+    Matrix x_true = Matrix::RandomGaussian(n, 2, 1.0, &rng);
+    Matrix b = a.MatMul(x_true);
+    Matrix x = *SolveLinearSystem(a, b);
+    EXPECT_TRUE(x.AllClose(x_true, 1e-8));
+  }
+}
+
+TEST(SolveTest, PivotingHandlesZeroDiagonal) {
+  Matrix a = {{0, 1}, {1, 0}};
+  Matrix b = {{2}, {3}};
+  Matrix x = *SolveLinearSystem(a, b);
+  EXPECT_NEAR(x.At(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR(x.At(1, 0), 2.0, 1e-12);
+}
+
+TEST(SolveTest, SingularRejected) {
+  Matrix a = {{1, 2}, {2, 4}};
+  Matrix b = {{1}, {2}};
+  EXPECT_FALSE(SolveLinearSystem(a, b).ok());
+}
+
+TEST(SolveTest, ShapeValidation) {
+  EXPECT_FALSE(SolveLinearSystem(Matrix(2, 3), Matrix(2, 1)).ok());
+  EXPECT_FALSE(SolveLinearSystem(Matrix::Identity(2), Matrix(3, 1)).ok());
+}
+
+TEST(RidgeTest, RecoversLinearModel) {
+  Rng rng(23);
+  Matrix x = Matrix::RandomGaussian(100, 4, 1.0, &rng);
+  Matrix w_true = {{1.0}, {-2.0}, {0.5}, {3.0}};
+  Matrix y = x.MatMul(w_true);
+  Matrix w = *RidgeRegression(x, y, 1e-8);
+  EXPECT_TRUE(w.AllClose(w_true, 1e-4));
+}
+
+TEST(RidgeTest, RegularizationShrinks) {
+  Rng rng(29);
+  Matrix x = Matrix::RandomGaussian(30, 3, 1.0, &rng);
+  Matrix y = Matrix::RandomGaussian(30, 1, 1.0, &rng);
+  Matrix w_small = *RidgeRegression(x, y, 1e-6);
+  Matrix w_big = *RidgeRegression(x, y, 1e4);
+  EXPECT_LT(w_big.FrobeniusNorm(), w_small.FrobeniusNorm());
+}
+
+TEST(RidgeTest, Validation) {
+  EXPECT_FALSE(RidgeRegression(Matrix(3, 2), Matrix(4, 1), 1.0).ok());
+  EXPECT_FALSE(RidgeRegression(Matrix(3, 2), Matrix(3, 1), 0.0).ok());
+}
+
+}  // namespace
+}  // namespace gelc

@@ -1,0 +1,146 @@
+// Tests for separation-power oracles and the refinement order of slide 25:
+// ρ(iso) ⊆ ρ(k-WL) ⊆ ... ⊆ ρ(CR), with GNN probes matching CR.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "graph/generators.h"
+#include "separation/oracles.h"
+
+namespace gelc {
+namespace {
+
+TEST(OracleTest, CrOracleOnKnownPairs) {
+  OraclePtr cr = MakeCrOracle();
+  auto [c6, two_c3] = Cr_HardPair();
+  EXPECT_TRUE(*cr->Equivalent(c6, two_c3));
+  EXPECT_FALSE(*cr->Equivalent(PathGraph(4), StarGraph(3)));
+}
+
+TEST(OracleTest, KwlOracleHierarchy) {
+  auto [c6, two_c3] = Cr_HardPair();
+  EXPECT_TRUE(*MakeKwlOracle(1)->Equivalent(c6, two_c3));
+  EXPECT_FALSE(*MakeKwlOracle(2)->Equivalent(c6, two_c3));
+}
+
+TEST(OracleTest, IsoOracleGroundTruth) {
+  OraclePtr iso = MakeIsomorphismOracle();
+  auto [c6, two_c3] = Cr_HardPair();
+  EXPECT_FALSE(*iso->Equivalent(c6, two_c3));
+  Rng rng(3);
+  Graph g = RandomGnp(10, 0.4, &rng);
+  Graph h = g.Permuted(rng.Permutation(10)).value();
+  EXPECT_TRUE(*iso->Equivalent(g, h));
+}
+
+TEST(OracleTest, TreeHomOracleTracksCr) {
+  OraclePtr hom = MakeTreeHomOracle(6);
+  auto [c6, two_c3] = Cr_HardPair();
+  EXPECT_TRUE(*hom->Equivalent(c6, two_c3));
+  EXPECT_FALSE(*hom->Equivalent(PathGraph(4), StarGraph(3)));
+}
+
+TEST(OracleTest, GnnProbeSeparatesWhatCrSeparates) {
+  OraclePtr probe = MakeGnn101ProbeOracle(10, {6, 6}, 1e-6, 42);
+  EXPECT_FALSE(*probe->Equivalent(PathGraph(4), StarGraph(3)));
+  EXPECT_FALSE(*probe->Equivalent(CycleGraph(5), CycleGraph(6)));
+}
+
+TEST(OracleTest, GnnProbeBlindOnCrEquivalentPairs) {
+  OraclePtr probe = MakeGnn101ProbeOracle(20, {8, 8}, 1e-6, 42);
+  auto [c6, two_c3] = Cr_HardPair();
+  EXPECT_TRUE(*probe->Equivalent(c6, two_c3))
+      << "GNN101 must not separate CR-equivalent graphs (slide 26)";
+  auto [shrikhande, rook] = Srg16Pair();
+  EXPECT_TRUE(*probe->Equivalent(shrikhande, rook));
+}
+
+TEST(OracleTest, MpnnProbeAggregations) {
+  // Sum probes separate C3 from C3+C3 (different vertex counts); mean/max
+  // probes cannot: every vertex looks locally identical and pooling by
+  // mean/max of identical rows coincides.
+  Graph c3 = CycleGraph(3);
+  Graph c3c3 = *Graph::DisjointUnion(CycleGraph(3), CycleGraph(3));
+  OraclePtr sum = MakeMpnnProbeOracle(10, {6, 6}, 0, 1e-6, 7);
+  OraclePtr mean = MakeMpnnProbeOracle(10, {6, 6}, 1, 1e-6, 7);
+  OraclePtr max = MakeMpnnProbeOracle(10, {6, 6}, 2, 1e-6, 7);
+  EXPECT_FALSE(*sum->Equivalent(c3, c3c3));
+  EXPECT_TRUE(*mean->Equivalent(c3, c3c3));
+  EXPECT_TRUE(*max->Equivalent(c3, c3c3));
+}
+
+TEST(OracleTest, GelSuiteOracle) {
+  // Triangle-count suite separates C6 from 2xC3; degree suite does not.
+  ExprPtr tri_guard = *Expr::Apply(
+      omega::Multiply(1),
+      {*Expr::Apply(omega::Multiply(1), {*Expr::Edge(0, 1),
+                                         *Expr::Edge(1, 2)}),
+       *Expr::Edge(2, 0)});
+  ExprPtr triangles =
+      *Expr::Aggregate(theta::Sum(1), VarBit(0) | VarBit(1) | VarBit(2),
+                       *Expr::Constant({1.0}), tri_guard);
+  ExprPtr deg = *Expr::Aggregate(theta::Sum(1), VarBit(1),
+                                 *Expr::Constant({1.0}), *Expr::Edge(0, 1));
+  ExprPtr total_deg = *Expr::Aggregate(theta::Sum(1), VarBit(0), deg,
+                                       nullptr);
+
+  auto [c6, two_c3] = Cr_HardPair();
+  OraclePtr tri_suite = MakeGelSuiteOracle({triangles}, 1e-9, "GEL3-tri");
+  OraclePtr deg_suite = MakeGelSuiteOracle({total_deg}, 1e-9, "GEL2-deg");
+  EXPECT_FALSE(*tri_suite->Equivalent(c6, two_c3));
+  EXPECT_TRUE(*deg_suite->Equivalent(c6, two_c3));
+}
+
+TEST(OracleTest, ComparePairCollectsVerdicts) {
+  auto [c6, two_c3] = Cr_HardPair();
+  OraclePtr cr = MakeCrOracle();
+  OraclePtr k2 = MakeKwlOracle(2);
+  PairVerdicts v = ComparePair("C6 vs 2xC3", c6, two_c3,
+                               {cr.get(), k2.get()});
+  ASSERT_EQ(v.verdicts.size(), 2u);
+  EXPECT_EQ(v.verdicts[0], "equiv");
+  EXPECT_EQ(v.verdicts[1], "separated");
+  std::string table = FormatVerdictTable({v});
+  EXPECT_NE(table.find("C6 vs 2xC3"), std::string::npos);
+  EXPECT_NE(table.find("2-WL"), std::string::npos);
+}
+
+TEST(OracleTest, ErrorsReportedInline) {
+  // k-WL on a too-large graph errors; the comparison harness must not
+  // crash but record the error.
+  Graph big1 = Graph::Unlabeled(300);
+  Graph big2 = Graph::Unlabeled(300);
+  OraclePtr k3 = MakeKwlOracle(3);
+  PairVerdicts v = ComparePair("big", big1, big2, {k3.get()});
+  EXPECT_EQ(v.verdicts[0].rfind("error:", 0), 0u);
+}
+
+// Refinement property over random pairs: iso-equivalent => k-WL equivalent
+// => CR equivalent (slide 65 chain, sampled).
+class RefinementChainTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RefinementChainTest, ChainHolds) {
+  Rng rng(GetParam() * 131);
+  Graph a = RandomGnp(8, 0.4, &rng);
+  Graph b = rng.NextBernoulli(0.5)
+                ? a.Permuted(rng.Permutation(8)).value()
+                : RandomGnp(8, 0.4, &rng);
+  bool iso = *MakeIsomorphismOracle()->Equivalent(a, b);
+  bool wl3 = *MakeKwlOracle(3)->Equivalent(a, b);
+  bool wl2 = *MakeKwlOracle(2)->Equivalent(a, b);
+  bool cr = *MakeCrOracle()->Equivalent(a, b);
+  if (iso) {
+    EXPECT_TRUE(wl3);
+  }
+  if (wl3) {
+    EXPECT_TRUE(wl2);
+  }
+  if (wl2) {
+    EXPECT_TRUE(cr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefinementChainTest,
+                         ::testing::Range<uint64_t>(1, 15));
+
+}  // namespace
+}  // namespace gelc
