@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_erm.dir/bench_e10_erm.cc.o"
+  "CMakeFiles/bench_e10_erm.dir/bench_e10_erm.cc.o.d"
+  "bench_e10_erm"
+  "bench_e10_erm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_erm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

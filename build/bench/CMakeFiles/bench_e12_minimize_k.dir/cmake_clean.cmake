@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_minimize_k.dir/bench_e12_minimize_k.cc.o"
+  "CMakeFiles/bench_e12_minimize_k.dir/bench_e12_minimize_k.cc.o.d"
+  "bench_e12_minimize_k"
+  "bench_e12_minimize_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_minimize_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

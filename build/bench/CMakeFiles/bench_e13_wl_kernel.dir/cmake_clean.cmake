@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_wl_kernel.dir/bench_e13_wl_kernel.cc.o"
+  "CMakeFiles/bench_e13_wl_kernel.dir/bench_e13_wl_kernel.cc.o.d"
+  "bench_e13_wl_kernel"
+  "bench_e13_wl_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_wl_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

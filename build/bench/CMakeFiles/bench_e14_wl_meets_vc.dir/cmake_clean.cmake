@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_wl_meets_vc.dir/bench_e14_wl_meets_vc.cc.o"
+  "CMakeFiles/bench_e14_wl_meets_vc.dir/bench_e14_wl_meets_vc.cc.o.d"
+  "bench_e14_wl_meets_vc"
+  "bench_e14_wl_meets_vc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_wl_meets_vc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_zero_one.dir/bench_e16_zero_one.cc.o"
+  "CMakeFiles/bench_e16_zero_one.dir/bench_e16_zero_one.cc.o.d"
+  "bench_e16_zero_one"
+  "bench_e16_zero_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_zero_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

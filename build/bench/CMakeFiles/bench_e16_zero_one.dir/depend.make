@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e16_zero_one.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_learning_beyond_wl.dir/bench_e17_learning_beyond_wl.cc.o"
+  "CMakeFiles/bench_e17_learning_beyond_wl.dir/bench_e17_learning_beyond_wl.cc.o.d"
+  "bench_e17_learning_beyond_wl"
+  "bench_e17_learning_beyond_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_learning_beyond_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

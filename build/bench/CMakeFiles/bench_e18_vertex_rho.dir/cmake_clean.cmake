@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_vertex_rho.dir/bench_e18_vertex_rho.cc.o"
+  "CMakeFiles/bench_e18_vertex_rho.dir/bench_e18_vertex_rho.cc.o.d"
+  "bench_e18_vertex_rho"
+  "bench_e18_vertex_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_vertex_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e19_relational.dir/bench_e19_relational.cc.o"
+  "CMakeFiles/bench_e19_relational.dir/bench_e19_relational.cc.o.d"
+  "bench_e19_relational"
+  "bench_e19_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

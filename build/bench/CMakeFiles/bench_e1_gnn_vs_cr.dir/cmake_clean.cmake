@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_gnn_vs_cr.dir/bench_e1_gnn_vs_cr.cc.o"
+  "CMakeFiles/bench_e1_gnn_vs_cr.dir/bench_e1_gnn_vs_cr.cc.o.d"
+  "bench_e1_gnn_vs_cr"
+  "bench_e1_gnn_vs_cr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_gnn_vs_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e20_quantitative_approx.dir/bench_e20_quantitative_approx.cc.o"
+  "CMakeFiles/bench_e20_quantitative_approx.dir/bench_e20_quantitative_approx.cc.o.d"
+  "bench_e20_quantitative_approx"
+  "bench_e20_quantitative_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e20_quantitative_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_tree_homs.dir/bench_e2_tree_homs.cc.o"
+  "CMakeFiles/bench_e2_tree_homs.dir/bench_e2_tree_homs.cc.o.d"
+  "bench_e2_tree_homs"
+  "bench_e2_tree_homs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_tree_homs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

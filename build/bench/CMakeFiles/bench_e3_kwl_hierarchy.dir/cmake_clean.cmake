@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_kwl_hierarchy.dir/bench_e3_kwl_hierarchy.cc.o"
+  "CMakeFiles/bench_e3_kwl_hierarchy.dir/bench_e3_kwl_hierarchy.cc.o.d"
+  "bench_e3_kwl_hierarchy"
+  "bench_e3_kwl_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_kwl_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_gel_vs_kwl.dir/bench_e4_gel_vs_kwl.cc.o"
+  "CMakeFiles/bench_e4_gel_vs_kwl.dir/bench_e4_gel_vs_kwl.cc.o.d"
+  "bench_e4_gel_vs_kwl"
+  "bench_e4_gel_vs_kwl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_gel_vs_kwl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_gml.dir/bench_e5_gml.cc.o"
+  "CMakeFiles/bench_e5_gml.dir/bench_e5_gml.cc.o.d"
+  "bench_e5_gml"
+  "bench_e5_gml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_gml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

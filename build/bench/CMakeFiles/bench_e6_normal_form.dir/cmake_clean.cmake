@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_normal_form.dir/bench_e6_normal_form.cc.o"
+  "CMakeFiles/bench_e6_normal_form.dir/bench_e6_normal_form.cc.o.d"
+  "bench_e6_normal_form"
+  "bench_e6_normal_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_normal_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

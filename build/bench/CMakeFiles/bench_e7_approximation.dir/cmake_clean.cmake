@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_approximation.dir/bench_e7_approximation.cc.o"
+  "CMakeFiles/bench_e7_approximation.dir/bench_e7_approximation.cc.o.d"
+  "bench_e7_approximation"
+  "bench_e7_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_invariance.dir/bench_e9_invariance.cc.o"
+  "CMakeFiles/bench_e9_invariance.dir/bench_e9_invariance.cc.o.d"
+  "bench_e9_invariance"
+  "bench_e9_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

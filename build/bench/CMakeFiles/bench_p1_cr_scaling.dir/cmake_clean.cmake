@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_cr_scaling.dir/bench_p1_cr_scaling.cc.o"
+  "CMakeFiles/bench_p1_cr_scaling.dir/bench_p1_cr_scaling.cc.o.d"
+  "bench_p1_cr_scaling"
+  "bench_p1_cr_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_cr_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p3_hom_cost.dir/bench_p3_hom_cost.cc.o"
+  "CMakeFiles/bench_p3_hom_cost.dir/bench_p3_hom_cost.cc.o.d"
+  "bench_p3_hom_cost"
+  "bench_p3_hom_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p3_hom_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p4_gnn_throughput.dir/bench_p4_gnn_throughput.cc.o"
+  "CMakeFiles/bench_p4_gnn_throughput.dir/bench_p4_gnn_throughput.cc.o.d"
+  "bench_p4_gnn_throughput"
+  "bench_p4_gnn_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p4_gnn_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p5_gel_eval.dir/bench_p5_gel_eval.cc.o"
+  "CMakeFiles/bench_p5_gel_eval.dir/bench_p5_gel_eval.cc.o.d"
+  "bench_p5_gel_eval"
+  "bench_p5_gel_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p5_gel_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_p5_gel_eval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_nodes.dir/citation_nodes.cpp.o"
+  "CMakeFiles/citation_nodes.dir/citation_nodes.cpp.o.d"
+  "citation_nodes"
+  "citation_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

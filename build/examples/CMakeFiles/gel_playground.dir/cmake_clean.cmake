@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gel_playground.dir/gel_playground.cpp.o"
+  "CMakeFiles/gel_playground.dir/gel_playground.cpp.o.d"
+  "gel_playground"
+  "gel_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gel_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

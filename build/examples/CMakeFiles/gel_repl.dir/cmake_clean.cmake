@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gel_repl.dir/gel_repl.cpp.o"
+  "CMakeFiles/gel_repl.dir/gel_repl.cpp.o.d"
+  "gel_repl"
+  "gel_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gel_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_explorer.dir/wl_explorer.cpp.o"
+  "CMakeFiles/wl_explorer.dir/wl_explorer.cpp.o.d"
+  "wl_explorer"
+  "wl_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

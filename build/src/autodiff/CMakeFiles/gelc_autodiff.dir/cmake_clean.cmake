@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelc_autodiff.dir/optimizer.cc.o"
+  "CMakeFiles/gelc_autodiff.dir/optimizer.cc.o.d"
+  "CMakeFiles/gelc_autodiff.dir/tape.cc.o"
+  "CMakeFiles/gelc_autodiff.dir/tape.cc.o.d"
+  "libgelc_autodiff.a"
+  "libgelc_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelc_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelc_base.dir/status.cc.o"
+  "CMakeFiles/gelc_base.dir/status.cc.o.d"
+  "libgelc_base.a"
+  "libgelc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

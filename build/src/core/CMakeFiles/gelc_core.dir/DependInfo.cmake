@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/gelc_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/gelc_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/compile_gnn.cc" "src/core/CMakeFiles/gelc_core.dir/compile_gnn.cc.o" "gcc" "src/core/CMakeFiles/gelc_core.dir/compile_gnn.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/core/CMakeFiles/gelc_core.dir/eval.cc.o" "gcc" "src/core/CMakeFiles/gelc_core.dir/eval.cc.o.d"
+  "/root/repo/src/core/expr.cc" "src/core/CMakeFiles/gelc_core.dir/expr.cc.o" "gcc" "src/core/CMakeFiles/gelc_core.dir/expr.cc.o.d"
+  "/root/repo/src/core/normal_form.cc" "src/core/CMakeFiles/gelc_core.dir/normal_form.cc.o" "gcc" "src/core/CMakeFiles/gelc_core.dir/normal_form.cc.o.d"
+  "/root/repo/src/core/omega.cc" "src/core/CMakeFiles/gelc_core.dir/omega.cc.o" "gcc" "src/core/CMakeFiles/gelc_core.dir/omega.cc.o.d"
+  "/root/repo/src/core/parser.cc" "src/core/CMakeFiles/gelc_core.dir/parser.cc.o" "gcc" "src/core/CMakeFiles/gelc_core.dir/parser.cc.o.d"
+  "/root/repo/src/core/rewrite.cc" "src/core/CMakeFiles/gelc_core.dir/rewrite.cc.o" "gcc" "src/core/CMakeFiles/gelc_core.dir/rewrite.cc.o.d"
+  "/root/repo/src/core/theta.cc" "src/core/CMakeFiles/gelc_core.dir/theta.cc.o" "gcc" "src/core/CMakeFiles/gelc_core.dir/theta.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gelc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gelc_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/gelc_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gelc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gelc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

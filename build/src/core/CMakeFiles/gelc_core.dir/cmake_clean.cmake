@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelc_core.dir/analysis.cc.o"
+  "CMakeFiles/gelc_core.dir/analysis.cc.o.d"
+  "CMakeFiles/gelc_core.dir/compile_gnn.cc.o"
+  "CMakeFiles/gelc_core.dir/compile_gnn.cc.o.d"
+  "CMakeFiles/gelc_core.dir/eval.cc.o"
+  "CMakeFiles/gelc_core.dir/eval.cc.o.d"
+  "CMakeFiles/gelc_core.dir/expr.cc.o"
+  "CMakeFiles/gelc_core.dir/expr.cc.o.d"
+  "CMakeFiles/gelc_core.dir/normal_form.cc.o"
+  "CMakeFiles/gelc_core.dir/normal_form.cc.o.d"
+  "CMakeFiles/gelc_core.dir/omega.cc.o"
+  "CMakeFiles/gelc_core.dir/omega.cc.o.d"
+  "CMakeFiles/gelc_core.dir/parser.cc.o"
+  "CMakeFiles/gelc_core.dir/parser.cc.o.d"
+  "CMakeFiles/gelc_core.dir/rewrite.cc.o"
+  "CMakeFiles/gelc_core.dir/rewrite.cc.o.d"
+  "CMakeFiles/gelc_core.dir/theta.cc.o"
+  "CMakeFiles/gelc_core.dir/theta.cc.o.d"
+  "libgelc_core.a"
+  "libgelc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/fgnn.cc" "src/gnn/CMakeFiles/gelc_gnn.dir/fgnn.cc.o" "gcc" "src/gnn/CMakeFiles/gelc_gnn.dir/fgnn.cc.o.d"
+  "/root/repo/src/gnn/gat.cc" "src/gnn/CMakeFiles/gelc_gnn.dir/gat.cc.o" "gcc" "src/gnn/CMakeFiles/gelc_gnn.dir/gat.cc.o.d"
+  "/root/repo/src/gnn/gnn101.cc" "src/gnn/CMakeFiles/gelc_gnn.dir/gnn101.cc.o" "gcc" "src/gnn/CMakeFiles/gelc_gnn.dir/gnn101.cc.o.d"
+  "/root/repo/src/gnn/mlp.cc" "src/gnn/CMakeFiles/gelc_gnn.dir/mlp.cc.o" "gcc" "src/gnn/CMakeFiles/gelc_gnn.dir/mlp.cc.o.d"
+  "/root/repo/src/gnn/mpnn.cc" "src/gnn/CMakeFiles/gelc_gnn.dir/mpnn.cc.o" "gcc" "src/gnn/CMakeFiles/gelc_gnn.dir/mpnn.cc.o.d"
+  "/root/repo/src/gnn/subgraph.cc" "src/gnn/CMakeFiles/gelc_gnn.dir/subgraph.cc.o" "gcc" "src/gnn/CMakeFiles/gelc_gnn.dir/subgraph.cc.o.d"
+  "/root/repo/src/gnn/trainable.cc" "src/gnn/CMakeFiles/gelc_gnn.dir/trainable.cc.o" "gcc" "src/gnn/CMakeFiles/gelc_gnn.dir/trainable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gelc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/gelc_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gelc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gelc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

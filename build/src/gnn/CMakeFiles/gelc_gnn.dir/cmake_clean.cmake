@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelc_gnn.dir/fgnn.cc.o"
+  "CMakeFiles/gelc_gnn.dir/fgnn.cc.o.d"
+  "CMakeFiles/gelc_gnn.dir/gat.cc.o"
+  "CMakeFiles/gelc_gnn.dir/gat.cc.o.d"
+  "CMakeFiles/gelc_gnn.dir/gnn101.cc.o"
+  "CMakeFiles/gelc_gnn.dir/gnn101.cc.o.d"
+  "CMakeFiles/gelc_gnn.dir/mlp.cc.o"
+  "CMakeFiles/gelc_gnn.dir/mlp.cc.o.d"
+  "CMakeFiles/gelc_gnn.dir/mpnn.cc.o"
+  "CMakeFiles/gelc_gnn.dir/mpnn.cc.o.d"
+  "CMakeFiles/gelc_gnn.dir/subgraph.cc.o"
+  "CMakeFiles/gelc_gnn.dir/subgraph.cc.o.d"
+  "CMakeFiles/gelc_gnn.dir/trainable.cc.o"
+  "CMakeFiles/gelc_gnn.dir/trainable.cc.o.d"
+  "libgelc_gnn.a"
+  "libgelc_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelc_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gelc_gnn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelc_graph.dir/generators.cc.o"
+  "CMakeFiles/gelc_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gelc_graph.dir/graph.cc.o"
+  "CMakeFiles/gelc_graph.dir/graph.cc.o.d"
+  "CMakeFiles/gelc_graph.dir/graph6.cc.o"
+  "CMakeFiles/gelc_graph.dir/graph6.cc.o.d"
+  "CMakeFiles/gelc_graph.dir/io.cc.o"
+  "CMakeFiles/gelc_graph.dir/io.cc.o.d"
+  "CMakeFiles/gelc_graph.dir/isomorphism.cc.o"
+  "CMakeFiles/gelc_graph.dir/isomorphism.cc.o.d"
+  "CMakeFiles/gelc_graph.dir/relational.cc.o"
+  "CMakeFiles/gelc_graph.dir/relational.cc.o.d"
+  "libgelc_graph.a"
+  "libgelc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hom/hom_count.cc" "src/hom/CMakeFiles/gelc_hom.dir/hom_count.cc.o" "gcc" "src/hom/CMakeFiles/gelc_hom.dir/hom_count.cc.o.d"
+  "/root/repo/src/hom/trees.cc" "src/hom/CMakeFiles/gelc_hom.dir/trees.cc.o" "gcc" "src/hom/CMakeFiles/gelc_hom.dir/trees.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gelc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gelc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gelc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

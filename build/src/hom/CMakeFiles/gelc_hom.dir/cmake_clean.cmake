@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelc_hom.dir/hom_count.cc.o"
+  "CMakeFiles/gelc_hom.dir/hom_count.cc.o.d"
+  "CMakeFiles/gelc_hom.dir/trees.cc.o"
+  "CMakeFiles/gelc_hom.dir/trees.cc.o.d"
+  "libgelc_hom.a"
+  "libgelc_hom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelc_hom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

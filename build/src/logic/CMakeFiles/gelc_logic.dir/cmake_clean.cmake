@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelc_logic.dir/gml.cc.o"
+  "CMakeFiles/gelc_logic.dir/gml.cc.o.d"
+  "CMakeFiles/gelc_logic.dir/gml_to_gnn.cc.o"
+  "CMakeFiles/gelc_logic.dir/gml_to_gnn.cc.o.d"
+  "libgelc_logic.a"
+  "libgelc_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelc_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

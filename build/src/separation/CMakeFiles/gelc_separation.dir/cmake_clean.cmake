@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelc_separation.dir/oracles.cc.o"
+  "CMakeFiles/gelc_separation.dir/oracles.cc.o.d"
+  "libgelc_separation.a"
+  "libgelc_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelc_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

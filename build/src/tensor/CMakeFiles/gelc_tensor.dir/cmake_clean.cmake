@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelc_tensor.dir/linalg.cc.o"
+  "CMakeFiles/gelc_tensor.dir/linalg.cc.o.d"
+  "CMakeFiles/gelc_tensor.dir/matrix.cc.o"
+  "CMakeFiles/gelc_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/gelc_tensor.dir/ops.cc.o"
+  "CMakeFiles/gelc_tensor.dir/ops.cc.o.d"
+  "libgelc_tensor.a"
+  "libgelc_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelc_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

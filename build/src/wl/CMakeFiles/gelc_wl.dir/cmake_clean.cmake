@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gelc_wl.dir/color_refinement.cc.o"
+  "CMakeFiles/gelc_wl.dir/color_refinement.cc.o.d"
+  "CMakeFiles/gelc_wl.dir/kernel.cc.o"
+  "CMakeFiles/gelc_wl.dir/kernel.cc.o.d"
+  "CMakeFiles/gelc_wl.dir/kwl.cc.o"
+  "CMakeFiles/gelc_wl.dir/kwl.cc.o.d"
+  "libgelc_wl.a"
+  "libgelc_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gelc_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgelc_wl.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_gnn_test.dir/compile_gnn_test.cc.o"
+  "CMakeFiles/compile_gnn_test.dir/compile_gnn_test.cc.o.d"
+  "compile_gnn_test"
+  "compile_gnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_gnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_mpnn_test.dir/compile_mpnn_test.cc.o"
+  "CMakeFiles/compile_mpnn_test.dir/compile_mpnn_test.cc.o.d"
+  "compile_mpnn_test"
+  "compile_mpnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_mpnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph6_test.dir/graph6_test.cc.o"
+  "CMakeFiles/graph6_test.dir/graph6_test.cc.o.d"
+  "graph6_test"
+  "graph6_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph6_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rewrite_test.cc" "tests/CMakeFiles/rewrite_test.dir/rewrite_test.cc.o" "gcc" "tests/CMakeFiles/rewrite_test.dir/rewrite_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gelc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/separation/CMakeFiles/gelc_separation.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/gelc_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/gelc_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hom/CMakeFiles/gelc_hom.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/gelc_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gelc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/gelc_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gelc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/gelc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

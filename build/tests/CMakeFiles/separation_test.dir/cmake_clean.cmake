@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separation_test.dir/separation_test.cc.o"
+  "CMakeFiles/separation_test.dir/separation_test.cc.o.d"
+  "separation_test"
+  "separation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
