@@ -1,0 +1,98 @@
+// P7: serial-vs-parallel speedup of the four paths wired into the thread
+// pool (base/parallel.h): Matrix::MatMul, RunColorRefinement, k-WL tuple
+// recoloring, and the WL subtree kernel Gram matrix. Each benchmark sweeps
+// the forced thread count 1/2/4/8 (arg 1) over sizes drawn from the P1/P2
+// ranges (arg 0); compare rows to read off the speedup. Results are
+// bit-identical across the sweep — the determinism tests in
+// parallel_test.cc assert it; these benches only time it.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "graph/generators.h"
+#include "tensor/matrix.h"
+#include "wl/color_refinement.h"
+#include "wl/kernel.h"
+#include "wl/kwl.h"
+
+namespace gelc {
+namespace {
+
+void ThreadSweep(benchmark::internal::Benchmark* b,
+                 std::initializer_list<int64_t> sizes) {
+  for (int64_t size : sizes)
+    for (int64_t threads : {1, 2, 4, 8}) b->Args({size, threads});
+}
+
+void BM_MatMulParallel(benchmark::State& state) {
+  SetParallelThreadCount(static_cast<size_t>(state.range(1)));
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  Matrix a = Matrix::RandomUniform(n, n, -1.0, 1.0, &rng);
+  Matrix b = Matrix::RandomUniform(n, n, -1.0, 1.0, &rng);
+  Matrix out;
+  for (auto _ : state) {
+    a.MatMulInto(b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetParallelThreadCount(0);
+}
+BENCHMARK(BM_MatMulParallel)->Apply([](benchmark::internal::Benchmark* b) {
+  ThreadSweep(b, {256, 512});
+});
+
+void BM_ColorRefinementParallel(benchmark::State& state) {
+  SetParallelThreadCount(static_cast<size_t>(state.range(1)));
+  Rng rng(7);
+  Graph g = RandomGnp(state.range(0), 0.1, &rng);
+  for (auto _ : state) {
+    CrColoring c = RunColorRefinement({&g});
+    benchmark::DoNotOptimize(c.stable);
+  }
+  SetParallelThreadCount(0);
+}
+BENCHMARK(BM_ColorRefinementParallel)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      ThreadSweep(b, {256, 512});
+    });
+
+void BM_KwlRecoloringParallel(benchmark::State& state) {
+  SetParallelThreadCount(static_cast<size_t>(state.range(1)));
+  Rng rng(7);
+  Graph a = RandomGnp(state.range(0), 0.3, &rng);
+  Graph b = RandomGnp(state.range(0), 0.3, &rng);
+  for (auto _ : state) {
+    auto c = RunKwl({&a, &b}, 2);
+    benchmark::DoNotOptimize(c);
+  }
+  SetParallelThreadCount(0);
+}
+BENCHMARK(BM_KwlRecoloringParallel)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      ThreadSweep(b, {24, 32});
+    });
+
+void BM_WlKernelParallel(benchmark::State& state) {
+  SetParallelThreadCount(static_cast<size_t>(state.range(1)));
+  Rng rng(7);
+  std::vector<Graph> graphs;
+  for (int64_t i = 0; i < state.range(0); ++i)
+    graphs.push_back(RandomGnp(24, 0.2, &rng));
+  std::vector<const Graph*> ptrs;
+  for (const Graph& g : graphs) ptrs.push_back(&g);
+  for (auto _ : state) {
+    auto k = WlSubtreeKernelMatrix(ptrs, 3);
+    benchmark::DoNotOptimize(k);
+  }
+  SetParallelThreadCount(0);
+}
+BENCHMARK(BM_WlKernelParallel)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      ThreadSweep(b, {64, 128});
+    });
+
+}  // namespace
+}  // namespace gelc

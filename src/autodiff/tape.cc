@@ -199,8 +199,13 @@ void Tape::Backward(ValueId root) {
         nodes_[n.b].grad -= g;
         break;
       case Op::kMatMul:
-        nodes_[n.a].grad += g.MatMul(nodes_[n.b].value.Transposed());
-        nodes_[n.b].grad += nodes_[n.a].value.Transposed().MatMul(g);
+        // The two gradient products go through a scratch buffer reused
+        // across the whole backward pass (and across training steps),
+        // instead of allocating a fresh matrix per product.
+        g.MatMulInto(nodes_[n.b].value.Transposed(), &matmul_scratch_);
+        nodes_[n.a].grad += matmul_scratch_;
+        nodes_[n.a].value.Transposed().MatMulInto(g, &matmul_scratch_);
+        nodes_[n.b].grad += matmul_scratch_;
         break;
       case Op::kHadamard:
         nodes_[n.a].grad += g.Hadamard(nodes_[n.b].value);

@@ -119,6 +119,9 @@ class Tape {
   ValueId Push(Node n);
 
   std::vector<Node> nodes_;
+  // Reused by Backward's MatMul gradient products (MatMulInto) so the
+  // backward pass does not allocate a fresh matrix per product.
+  Matrix matmul_scratch_;
 };
 
 }  // namespace gelc

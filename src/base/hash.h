@@ -43,6 +43,20 @@ inline uint64_t HashU64Span(const uint64_t* data, size_t n) {
   return h;
 }
 
+/// Serializes u64 words to bytes (the encoding Interner::InternWords
+/// uses). Signature bytes can be built in parallel shards and interned in
+/// a deterministic second pass; the bytes are identical to interning the
+/// word vectors directly.
+inline std::string EncodeWords(const uint64_t* data, size_t n) {
+  std::string buf(n * sizeof(uint64_t), '\0');
+  if (n > 0) std::memcpy(buf.data(), data, buf.size());
+  return buf;
+}
+
+inline std::string EncodeWords(const std::vector<uint64_t>& words) {
+  return EncodeWords(words.data(), words.size());
+}
+
 /// Maps byte-string signatures to dense canonical ids 0,1,2,...
 ///
 /// Ids are assigned in first-seen order; interning the same signature again
@@ -63,11 +77,7 @@ class Interner {
 
   /// Interns a sequence of u64 words (serialized little-endian).
   uint64_t InternWords(const std::vector<uint64_t>& words) {
-    std::string buf(words.size() * sizeof(uint64_t), '\0');
-    if (!words.empty()) {
-      std::memcpy(buf.data(), words.data(), buf.size());
-    }
-    return Intern(buf);
+    return Intern(EncodeWords(words));
   }
 
   /// Number of distinct signatures seen so far.

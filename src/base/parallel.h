@@ -1,0 +1,59 @@
+// Data-parallel loops over a lazily-initialized global thread pool.
+//
+// This is the execution substrate for the hot paths (MatMul, color
+// refinement, k-WL recoloring, kernel Gram matrices). The design contract,
+// spelled out in DESIGN.md ("Threading model"):
+//
+//  - Thread count comes from GELC_NUM_THREADS (>= 1) if set, otherwise
+//    std::thread::hardware_concurrency(); GELC_NUM_THREADS=1 forces every
+//    ParallelFor onto the calling thread (the serial path).
+//  - Shard boundaries are a pure function of (range, grain, thread count),
+//    and every wired-in algorithm writes disjoint output slots per index,
+//    so results are bit-identical for any thread count.
+//  - Exceptions thrown inside shards are captured and the first one is
+//    rethrown on the calling thread after all shards finish.
+//  - ParallelFor called from inside a pool worker runs inline (serial):
+//    nesting can never deadlock on the pool's own queue.
+#ifndef GELC_BASE_PARALLEL_H_
+#define GELC_BASE_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace gelc {
+
+/// Number of threads ParallelFor fans out across (>= 1). Reads the
+/// GELC_NUM_THREADS override first, then hardware concurrency.
+size_t ParallelThreadCount();
+
+/// Overrides the thread count at runtime (benchmarks sweep 1/2/4/8 with
+/// this). Passing 0 restores the GELC_NUM_THREADS / hardware default.
+void SetParallelThreadCount(size_t n);
+
+/// True while the calling thread is a pool worker executing a shard.
+bool InParallelWorker();
+
+/// Invokes fn(shard_begin, shard_end) over a disjoint cover of
+/// [begin, end), with at most ParallelThreadCount() shards of at least
+/// `grain` indices each (the final shard may be smaller). Shard 0 runs on
+/// the calling thread; the rest run on the global pool. Blocks until all
+/// shards finish; rethrows the first shard exception.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// Evaluates fn(i) for i in [0, n) in parallel and returns the results in
+/// index order (deterministic regardless of shard schedule).
+template <typename Fn>
+auto ParallelMap(size_t n, size_t grain, Fn&& fn)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  std::vector<decltype(fn(size_t{0}))> out(n);
+  ParallelFor(0, n, grain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+}  // namespace gelc
+
+#endif  // GELC_BASE_PARALLEL_H_

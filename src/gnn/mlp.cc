@@ -1,5 +1,7 @@
 #include "gnn/mlp.h"
 
+#include <utility>
+
 #include "base/logging.h"
 
 namespace gelc {
@@ -30,9 +32,19 @@ Result<Mlp> Mlp::Random(const std::vector<size_t>& dims, Activation hidden_act,
 }
 
 Matrix Mlp::Forward(const Matrix& x) const {
+  if (layers_.empty()) return x;
+  // Ping-pong between h and pre so each layer reuses the other buffer's
+  // storage (MatMulInto) instead of allocating three temporaries; bias and
+  // activation are applied in place, in the same order as
+  // AddRowBroadcast-then-ApplyActivation.
   Matrix h = x;
+  Matrix pre;
   for (const MlpLayer& l : layers_) {
-    h = ApplyActivation(l.act, h.MatMul(l.w).AddRowBroadcast(l.b));
+    h.MatMulInto(l.w, &pre);
+    for (size_t i = 0; i < pre.rows(); ++i)
+      for (size_t j = 0; j < pre.cols(); ++j)
+        pre.At(i, j) = ApplyActivation(l.act, pre.At(i, j) + l.b.At(0, j));
+    std::swap(h, pre);
   }
   return h;
 }

@@ -4,7 +4,19 @@
 #include <cmath>
 #include <sstream>
 
+#include "base/parallel.h"
+
 namespace gelc {
+
+namespace {
+
+// Flop count below which MatMul stays on the calling thread: tiny
+// GNN-layer products lose more to pool fan-out than they gain.
+constexpr size_t kMatMulSerialWork = size_t{1} << 16;
+// Target flops per shard when row-partitioning a parallel MatMul.
+constexpr size_t kMatMulShardWork = size_t{1} << 15;
+
+}  // namespace
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
     : rows_(rows.size()), cols_(0) {
@@ -55,20 +67,51 @@ void Matrix::SetRow(size_t r, const Matrix& row) {
   std::copy(row.data_.begin(), row.data_.end(), data_.begin() + r * cols_);
 }
 
+void Matrix::MatMulImpl(const Matrix& other, Matrix* out) const {
+  const size_t inner = cols_;
+  const size_t ocols = other.cols_;
+  // i-k-j loop order for row-major cache friendliness. Each shard owns a
+  // contiguous row range of `out`, so any shard schedule produces the same
+  // bits as the serial loop.
+  auto row_range = [this, &other, out, inner, ocols](size_t row_begin,
+                                                     size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      for (size_t k = 0; k < inner; ++k) {
+        double a = data_[i * inner + k];
+        if (a == 0.0) continue;
+        const double* brow = &other.data_[k * ocols];
+        double* orow = &out->data_[i * ocols];
+        for (size_t j = 0; j < ocols; ++j) orow[j] += a * brow[j];
+      }
+    }
+  };
+  if (rows_ * inner * ocols < kMatMulSerialWork) {
+    row_range(0, rows_);
+    return;
+  }
+  size_t row_work = std::max<size_t>(1, inner * ocols);
+  size_t grain = std::max<size_t>(1, kMatMulShardWork / row_work);
+  ParallelFor(0, rows_, grain, row_range);
+}
+
 Matrix Matrix::MatMul(const Matrix& other) const {
   GELC_CHECK(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order for row-major cache friendliness.
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t k = 0; k < cols_; ++k) {
-      double a = data_[i * cols_ + k];
-      if (a == 0.0) continue;
-      const double* brow = &other.data_[k * other.cols_];
-      double* orow = &out.data_[i * other.cols_];
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
-    }
-  }
+  MatMulImpl(other, &out);
   return out;
+}
+
+void Matrix::MatMulInto(const Matrix& other, Matrix* out) const {
+  GELC_CHECK(out != nullptr && out != this && out != &other);
+  GELC_CHECK(cols_ == other.rows_);
+  if (out->rows_ == rows_ && out->cols_ == other.cols_) {
+    std::fill(out->data_.begin(), out->data_.end(), 0.0);
+  } else {
+    out->rows_ = rows_;
+    out->cols_ = other.cols_;
+    out->data_.assign(rows_ * other.cols_, 0.0);
+  }
+  MatMulImpl(other, out);
 }
 
 Matrix Matrix::Transposed() const {

@@ -68,7 +68,13 @@ class Matrix {
   void SetRow(size_t r, const Matrix& row);
 
   /// Matrix product; dimension mismatch is a checked programmer error.
+  /// Large products are row-partitioned across the global thread pool
+  /// (see base/parallel.h); results are bit-identical to the serial path.
   Matrix MatMul(const Matrix& other) const;
+  /// Matrix product computed into *out, reusing out's storage when the
+  /// shape already matches (no allocation on repeated calls, e.g. inside
+  /// training loops). `out` must not alias this or `other`.
+  void MatMulInto(const Matrix& other, Matrix* out) const;
   /// Transpose.
   Matrix Transposed() const;
 
@@ -116,6 +122,10 @@ class Matrix {
   std::string ToString() const;
 
  private:
+  /// Shared matmul kernel; accumulates this * other into *out, which must
+  /// already be zeroed and correctly shaped.
+  void MatMulImpl(const Matrix& other, Matrix* out) const;
+
   size_t rows_;
   size_t cols_;
   std::vector<double> data_;

@@ -6,6 +6,7 @@
 
 #include "base/hash.h"
 #include "base/logging.h"
+#include "base/parallel.h"
 
 namespace gelc {
 
@@ -44,12 +45,16 @@ CrColoring RunColorRefinement(const std::vector<const Graph*>& graphs,
   CrColoring out;
   out.stable.resize(graphs.size());
 
-  // Round 0: original labels.
+  // Round 0: original labels. Signature bytes are built per shard, then
+  // interned in a serial pass over the fixed (g, v) order so color ids are
+  // assigned in the same first-seen order as a fully serial run.
   for (size_t g = 0; g < graphs.size(); ++g) {
     size_t n = graphs[g]->num_vertices();
     out.stable[g].resize(n);
+    std::vector<std::string> sigs = ParallelMap(
+        n, 64, [&](size_t v) { return FeatureSignature(*graphs[g], v); });
     for (size_t v = 0; v < n; ++v)
-      out.stable[g][v] = interner.Intern(FeatureSignature(*graphs[g], v));
+      out.stable[g][v] = interner.Intern(sigs[v]);
   }
   out.history.push_back(out.stable);
 
@@ -61,16 +66,22 @@ CrColoring RunColorRefinement(const std::vector<const Graph*>& graphs,
       const Graph& graph = *graphs[g];
       size_t n = graph.num_vertices();
       next[g].resize(n);
-      for (size_t v = 0; v < n; ++v) {
+      // Pass 1 (parallel): per-vertex signature bytes, which depend only
+      // on the previous round's colors — shards are independent.
+      std::vector<std::string> sigs(n);
+      ParallelFor(0, n, 32, [&](size_t vb, size_t ve) {
         std::vector<uint64_t> sig;
-        sig.push_back(out.stable[g][v]);
-        std::vector<uint64_t> nb;
-        for (VertexId u : graph.Neighbors(static_cast<VertexId>(v)))
-          nb.push_back(out.stable[g][u]);
-        std::sort(nb.begin(), nb.end());
-        sig.insert(sig.end(), nb.begin(), nb.end());
-        next[g][v] = interner.InternWords(sig);
-      }
+        for (size_t v = vb; v < ve; ++v) {
+          sig.clear();
+          sig.push_back(out.stable[g][v]);
+          for (VertexId u : graph.Neighbors(static_cast<VertexId>(v)))
+            sig.push_back(out.stable[g][u]);
+          std::sort(sig.begin() + 1, sig.end());
+          sigs[v] = EncodeWords(sig);
+        }
+      });
+      // Pass 2 (serial, fixed order): deterministic id assignment.
+      for (size_t v = 0; v < n; ++v) next[g][v] = interner.Intern(sigs[v]);
     }
     size_t distinct = CountDistinct(next);
     out.stable = std::move(next);

@@ -1,6 +1,9 @@
 #include "wl/kernel.h"
+
+#include <algorithm>
 #include <cmath>
 
+#include "base/parallel.h"
 #include "tensor/linalg.h"
 #include "wl/color_refinement.h"
 
@@ -10,18 +13,33 @@ Result<Matrix> WlSubtreeKernelMatrix(const std::vector<const Graph*>& graphs,
                                      int rounds) {
   CrColoring coloring = RunColorRefinement(graphs, rounds);
   size_t m = graphs.size();
-  // Per-graph sparse feature maps over (round, color).
+  // Per-graph sparse feature maps over (round, color); graphs are
+  // independent, so the maps are built one graph per shard slot.
   std::vector<WlFeatureMap> features(m);
-  for (size_t r = 0; r < coloring.history.size(); ++r) {
-    for (size_t g = 0; g < m; ++g) {
-      for (uint64_t c : coloring.history[r][g]) {
-        features[g][{r, c}] += 1.0;
+  ParallelFor(0, m, 1, [&](size_t gb, size_t ge) {
+    for (size_t g = gb; g < ge; ++g) {
+      for (size_t r = 0; r < coloring.history.size(); ++r) {
+        for (uint64_t c : coloring.history[r][g]) {
+          features[g][{r, c}] += 1.0;
+        }
       }
     }
-  }
+  });
   Matrix k(m, m);
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t j = i; j < m; ++j) {
+  // Gram entries partitioned over the flattened upper triangle; entry
+  // (i, j) writes only k(i,j) / k(j,i), so shards never overlap and the
+  // matrix is bit-identical for any thread count (std::map iteration is
+  // key-ordered, so even summation order is schedule-independent).
+  // row_offset[i] = flat index of (i, i); row i holds m - i entries.
+  std::vector<size_t> row_offset(m + 1, 0);
+  for (size_t i = 0; i < m; ++i) row_offset[i + 1] = row_offset[i] + (m - i);
+  ParallelFor(0, row_offset[m], 8, [&](size_t begin, size_t end) {
+    size_t i = static_cast<size_t>(
+        std::upper_bound(row_offset.begin(), row_offset.end(), begin) -
+        row_offset.begin() - 1);
+    for (size_t idx = begin; idx < end; ++idx) {
+      while (idx >= row_offset[i + 1]) ++i;
+      size_t j = i + (idx - row_offset[i]);
       double dot = 0.0;
       // Iterate over the smaller map.
       const WlFeatureMap& a = features[i].size() <= features[j].size()
@@ -37,7 +55,7 @@ Result<Matrix> WlSubtreeKernelMatrix(const std::vector<const Graph*>& graphs,
       k.At(i, j) = dot;
       k.At(j, i) = dot;
     }
-  }
+  });
   return k;
 }
 

@@ -6,11 +6,18 @@
 
 #include "base/hash.h"
 #include "base/logging.h"
+#include "base/parallel.h"
 #include "wl/color_refinement.h"
 
 namespace gelc {
 
 namespace {
+
+// Tuples per block when recoloring the n^k tuple space: signature bytes
+// for one block are built in parallel shards, then interned serially in
+// tuple order. Blocking bounds the materialized signatures regardless of
+// table size; the fixed block size keeps the schedule deterministic.
+constexpr size_t kTupleBlock = size_t{1} << 15;
 
 // Decodes tuple index t (mixed radix base n) into vertex ids, most
 // significant position first.
@@ -33,12 +40,12 @@ std::string FeatureSignature(const Graph& g, size_t v) {
 
 // Atomic type of an ordered k-tuple: per-position feature colors plus the
 // full equality and adjacency patterns.
-uint64_t AtomicType(const Graph& g, const std::vector<size_t>& tuple,
-                    const std::vector<uint64_t>& feature_colors,
-                    Interner* interner) {
-  std::vector<uint64_t> words;
+void AtomicTypeWords(const Graph& g, const std::vector<size_t>& tuple,
+                     const std::vector<uint64_t>& feature_colors,
+                     std::vector<uint64_t>* words) {
+  words->clear();
   size_t k = tuple.size();
-  for (size_t i = 0; i < k; ++i) words.push_back(feature_colors[tuple[i]]);
+  for (size_t i = 0; i < k; ++i) words->push_back(feature_colors[tuple[i]]);
   for (size_t i = 0; i < k; ++i) {
     for (size_t j = 0; j < k; ++j) {
       uint64_t bits = 0;
@@ -46,10 +53,41 @@ uint64_t AtomicType(const Graph& g, const std::vector<size_t>& tuple,
       if (i != j && g.HasEdge(static_cast<VertexId>(tuple[i]),
                               static_cast<VertexId>(tuple[j])))
         bits |= 2;
-      words.push_back(bits);
+      words->push_back(bits);
     }
   }
-  return interner->InternWords(words);
+}
+
+// Initializes stable[g] with interned atomic types: signature bytes per
+// block in parallel, ids assigned serially in tuple order (first-seen
+// order identical to a serial run).
+void InitAtomicTypes(const Graph& graph, size_t k, Interner* interner,
+                     std::vector<uint64_t>* stable) {
+  size_t n = graph.num_vertices();
+  std::vector<uint64_t> feature_colors(n);
+  {
+    std::vector<std::string> fsigs = ParallelMap(
+        n, 64, [&](size_t v) { return FeatureSignature(graph, v); });
+    for (size_t v = 0; v < n; ++v)
+      feature_colors[v] = interner->Intern(fsigs[v]);
+  }
+  size_t tuples = stable->size();
+  std::vector<std::string> sigs;
+  for (size_t block = 0; block < tuples; block += kTupleBlock) {
+    size_t block_end = std::min(tuples, block + kTupleBlock);
+    sigs.resize(block_end - block);
+    ParallelFor(block, block_end, 128, [&](size_t tb, size_t te) {
+      std::vector<size_t> tuple;
+      std::vector<uint64_t> words;
+      for (size_t t = tb; t < te; ++t) {
+        DecodeTuple(t, n, k, &tuple);
+        AtomicTypeWords(graph, tuple, feature_colors, &words);
+        sigs[t - block] = EncodeWords(words);
+      }
+    });
+    for (size_t t = block; t < block_end; ++t)
+      (*stable)[t] = interner->Intern(sigs[t - block]);
+  }
 }
 
 size_t CountDistinct(const std::vector<std::vector<uint64_t>>& colorings) {
@@ -115,18 +153,8 @@ Result<KwlColoring> RunKwl(const std::vector<const Graph*>& graphs, size_t k,
 
   // Initialization: atomic types.
   for (size_t g = 0; g < graphs.size(); ++g) {
-    const Graph& graph = *graphs[g];
-    size_t n = graph.num_vertices();
-    std::vector<uint64_t> feature_colors(n);
-    for (size_t v = 0; v < n; ++v)
-      feature_colors[v] = interner.Intern(FeatureSignature(graph, v));
-    size_t tuples = PowN(n, k);
-    out.stable[g].resize(tuples);
-    std::vector<size_t> tuple;
-    for (size_t t = 0; t < tuples; ++t) {
-      DecodeTuple(t, n, k, &tuple);
-      out.stable[g][t] = AtomicType(graph, tuple, feature_colors, &interner);
-    }
+    out.stable[g].resize(PowN(graphs[g]->num_vertices(), k));
+    InitAtomicTypes(*graphs[g], k, &interner, &out.stable[g]);
   }
 
   size_t prev_distinct = CountDistinct(out.stable);
@@ -134,33 +162,44 @@ Result<KwlColoring> RunKwl(const std::vector<const Graph*>& graphs, size_t k,
     if (max_rounds >= 0 && round > static_cast<size_t>(max_rounds)) break;
     std::vector<std::vector<uint64_t>> next(graphs.size());
     for (size_t g = 0; g < graphs.size(); ++g) {
-      const Graph& graph = *graphs[g];
-      size_t n = graph.num_vertices();
+      size_t n = graphs[g]->num_vertices();
       size_t tuples = out.stable[g].size();
       next[g].resize(tuples);
-      std::vector<size_t> tuple;
       // Precomputed strides for substituting position j: replacing v_j by w
       // changes the index by (w - v_j) * n^{k-1-j}.
       std::vector<size_t> stride(k, 1);
       for (size_t j = k; j-- > 1;) stride[j - 1] = stride[j] * n;
-      std::vector<uint64_t> wsigs;
-      std::vector<uint64_t> kvec(k);
-      for (size_t t = 0; t < tuples; ++t) {
-        DecodeTuple(t, n, k, &tuple);
-        wsigs.clear();
-        for (size_t w = 0; w < n; ++w) {
-          for (size_t j = 0; j < k; ++j) {
-            size_t idx = t + (w - tuple[j]) * stride[j];
-            kvec[j] = out.stable[g][idx];
+      // Pass 1 over each block (parallel): the raw refinement signature
+      // [old color | sorted list of the n substituted k-vectors]. Sorting
+      // the raw k-vectors — rather than interning each to an id first, as
+      // the serial-era code did — keeps the bytes independent of interner
+      // state, so every shard schedule and thread count produces the same
+      // signature; ids are then assigned serially in tuple order.
+      std::vector<std::string> sigs;
+      for (size_t block = 0; block < tuples; block += kTupleBlock) {
+        size_t block_end = std::min(tuples, block + kTupleBlock);
+        sigs.resize(block_end - block);
+        ParallelFor(block, block_end, 64, [&](size_t tb, size_t te) {
+          std::vector<size_t> tuple;
+          std::vector<std::vector<uint64_t>> wvecs(
+              n, std::vector<uint64_t>(k));
+          std::vector<uint64_t> sig;
+          for (size_t t = tb; t < te; ++t) {
+            DecodeTuple(t, n, k, &tuple);
+            for (size_t w = 0; w < n; ++w)
+              for (size_t j = 0; j < k; ++j)
+                wvecs[w][j] = out.stable[g][t + (w - tuple[j]) * stride[j]];
+            std::sort(wvecs.begin(), wvecs.end());
+            sig.clear();
+            sig.reserve(1 + n * k);
+            sig.push_back(out.stable[g][t]);
+            for (const auto& wv : wvecs)
+              sig.insert(sig.end(), wv.begin(), wv.end());
+            sigs[t - block] = EncodeWords(sig);
           }
-          wsigs.push_back(interner.InternWords(kvec));
-        }
-        std::sort(wsigs.begin(), wsigs.end());
-        std::vector<uint64_t> sig;
-        sig.reserve(wsigs.size() + 1);
-        sig.push_back(out.stable[g][t]);
-        sig.insert(sig.end(), wsigs.begin(), wsigs.end());
-        next[g][t] = interner.InternWords(sig);
+        });
+        for (size_t t = block; t < block_end; ++t)
+          next[g][t] = interner.Intern(sigs[t - block]);
       }
     }
     size_t distinct = CountDistinct(next);
@@ -190,18 +229,8 @@ Result<KwlColoring> RunObliviousKwl(const std::vector<const Graph*>& graphs,
   out.stable.resize(graphs.size());
 
   for (size_t g = 0; g < graphs.size(); ++g) {
-    const Graph& graph = *graphs[g];
-    size_t n = graph.num_vertices();
-    std::vector<uint64_t> feature_colors(n);
-    for (size_t v = 0; v < n; ++v)
-      feature_colors[v] = interner.Intern(FeatureSignature(graph, v));
-    size_t tuples = PowN(n, k);
-    out.stable[g].resize(tuples);
-    std::vector<size_t> tuple;
-    for (size_t t = 0; t < tuples; ++t) {
-      DecodeTuple(t, n, k, &tuple);
-      out.stable[g][t] = AtomicType(graph, tuple, feature_colors, &interner);
-    }
+    out.stable[g].resize(PowN(graphs[g]->num_vertices(), k));
+    InitAtomicTypes(*graphs[g], k, &interner, &out.stable[g]);
   }
 
   size_t prev_distinct = CountDistinct(out.stable);
@@ -209,30 +238,39 @@ Result<KwlColoring> RunObliviousKwl(const std::vector<const Graph*>& graphs,
     if (max_rounds >= 0 && round > static_cast<size_t>(max_rounds)) break;
     std::vector<std::vector<uint64_t>> next(graphs.size());
     for (size_t g = 0; g < graphs.size(); ++g) {
-      const Graph& graph = *graphs[g];
-      size_t n = graph.num_vertices();
+      size_t n = graphs[g]->num_vertices();
       size_t tuples = out.stable[g].size();
       next[g].resize(tuples);
-      std::vector<size_t> tuple;
       std::vector<size_t> stride(k, 1);
       for (size_t j = k; j-- > 1;) stride[j - 1] = stride[j] * n;
-      std::vector<uint64_t> position_colors;
-      for (size_t t = 0; t < tuples; ++t) {
-        DecodeTuple(t, n, k, &tuple);
-        std::vector<uint64_t> sig;
-        sig.push_back(out.stable[g][t]);
-        // Per position: the SORTED multiset over w of the single
-        // substituted color (no cross-position synchronization).
-        for (size_t j = 0; j < k; ++j) {
-          position_colors.clear();
-          for (size_t w = 0; w < n; ++w) {
-            size_t idx = t + (w - tuple[j]) * stride[j];
-            position_colors.push_back(out.stable[g][idx]);
+      // Same two-pass scheme as folklore k-WL: per position, the SORTED
+      // multiset over w of the single substituted color is embedded raw
+      // into the signature (no intermediate interning), so the bytes are
+      // interner-independent and identical for every thread count.
+      std::vector<std::string> sigs;
+      for (size_t block = 0; block < tuples; block += kTupleBlock) {
+        size_t block_end = std::min(tuples, block + kTupleBlock);
+        sigs.resize(block_end - block);
+        ParallelFor(block, block_end, 64, [&](size_t tb, size_t te) {
+          std::vector<size_t> tuple;
+          std::vector<uint64_t> sig;
+          for (size_t t = tb; t < te; ++t) {
+            DecodeTuple(t, n, k, &tuple);
+            sig.clear();
+            sig.reserve(1 + k * n);
+            sig.push_back(out.stable[g][t]);
+            for (size_t j = 0; j < k; ++j) {
+              size_t head = sig.size();
+              for (size_t w = 0; w < n; ++w)
+                sig.push_back(
+                    out.stable[g][t + (w - tuple[j]) * stride[j]]);
+              std::sort(sig.begin() + head, sig.end());
+            }
+            sigs[t - block] = EncodeWords(sig);
           }
-          std::sort(position_colors.begin(), position_colors.end());
-          sig.push_back(interner.InternWords(position_colors));
-        }
-        next[g][t] = interner.InternWords(sig);
+        });
+        for (size_t t = block; t < block_end; ++t)
+          next[g][t] = interner.Intern(sigs[t - block]);
       }
     }
     size_t distinct = CountDistinct(next);
