@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in BENCH_p*.json perf-bench results at the repo
+# root: builds the tree, then runs every google-benchmark binary
+# (bench/bench_p*) with --benchmark_format=json.
+#
+# Usage: scripts/run_benches.sh [min_time] [filter-regex]
+#   min_time      --benchmark_min_time per bench (bare seconds; the
+#                 bundled benchmark version rejects an 's' suffix).
+#                 Default 0.05 — enough for stable medians on the sizes
+#                 the benches sweep without multi-hour runs.
+#   filter-regex  only regenerate BENCH files for bench names matching
+#                 this shell glob against the binary name, e.g. 'p8*'.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+min_time="${1:-0.05}"
+filter="${2:-p*}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+
+for bin in build/bench/bench_p*; do
+  name="${bin##*/bench_}"                  # e.g. p8_spmm
+  short="${name%%_*}"                      # e.g. p8
+  case "$name" in
+    ${filter}) ;;
+    *) continue ;;
+  esac
+  echo "== bench_${name} -> BENCH_${short}.json" >&2
+  "$bin" --benchmark_format=json --benchmark_min_time="$min_time" \
+    > "BENCH_${short}.json"
+done

@@ -55,6 +55,19 @@ ValueId Tape::MatMul(ValueId a, ValueId b) {
   return Push(std::move(n));
 }
 
+ValueId Tape::SparseMatMul(const CsrMatrix* csr, const CsrMatrix* csr_t,
+                           ValueId b) {
+  GELC_CHECK(csr != nullptr && csr_t != nullptr);
+  GELC_CHECK(csr->rows == csr_t->cols && csr->cols == csr_t->rows);
+  Node n;
+  n.op = Op::kSparseMatMul;
+  n.b = b;
+  n.csr = csr;
+  n.csr_t = csr_t;
+  n.value = SpMM(*csr, nodes_[b].value);
+  return Push(std::move(n));
+}
+
 ValueId Tape::Hadamard(ValueId a, ValueId b) {
   Node n;
   n.op = Op::kHadamard;
@@ -205,6 +218,12 @@ void Tape::Backward(ValueId root) {
         g.MatMulInto(nodes_[n.b].value.Transposed(), &matmul_scratch_);
         nodes_[n.a].grad += matmul_scratch_;
         nodes_[n.a].value.Transposed().MatMulInto(g, &matmul_scratch_);
+        nodes_[n.b].grad += matmul_scratch_;
+        break;
+      case Op::kSparseMatMul:
+        // d/dB (A·B) pulled back through the cached transpose CSR; the
+        // sparse operand is constant, so no second product is needed.
+        SpMMInto(*n.csr_t, g, &matmul_scratch_);
         nodes_[n.b].grad += matmul_scratch_;
         break;
       case Op::kHadamard:

@@ -21,6 +21,7 @@
 
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
+#include "tensor/sparse.h"
 
 namespace gelc {
 
@@ -55,6 +56,13 @@ class Tape {
   ValueId Add(ValueId a, ValueId b);
   ValueId Sub(ValueId a, ValueId b);
   ValueId MatMul(ValueId a, ValueId b);
+  /// Sparse-times-dense product csr * b via SpMM; the sparse operand is a
+  /// constant (no gradient flows into it), so message passing never
+  /// densifies the adjacency. Backward is csrᵀ * grad through `csr_t`,
+  /// which must be the transpose of `csr` (Graph::Csr() caches both).
+  /// Both pointers must outlive the tape.
+  ValueId SparseMatMul(const CsrMatrix* csr, const CsrMatrix* csr_t,
+                       ValueId b);
   ValueId Hadamard(ValueId a, ValueId b);
   ValueId Scale(ValueId a, double s);
   /// Entrywise activation.
@@ -90,6 +98,7 @@ class Tape {
     kAdd,
     kSub,
     kMatMul,
+    kSparseMatMul,
     kHadamard,
     kScale,
     kAct,
@@ -114,6 +123,8 @@ class Tape {
     std::vector<size_t> indices;  // labels / gather rows
     Matrix aux;                   // cached softmax / target
     Parameter* param = nullptr;
+    const CsrMatrix* csr = nullptr;    // kSparseMatMul forward operand
+    const CsrMatrix* csr_t = nullptr;  // its transpose (backward operand)
   };
 
   ValueId Push(Node n);

@@ -1,6 +1,7 @@
 #include "gnn/gnn101.h"
 
 #include "base/logging.h"
+#include "tensor/sparse.h"
 
 namespace gelc {
 
@@ -58,9 +59,9 @@ Result<Matrix> Gnn101Model::VertexEmbeddings(const Graph& g) const {
     return Status::InvalidArgument("graph feature dim does not match model");
   }
   Matrix f = g.features();
-  Matrix a = g.AdjacencyMatrix();
+  const CsrMatrix& a = g.Csr().adjacency();
   for (const Gnn101Layer& l : layers_) {
-    Matrix next = f.MatMul(l.w1) + a.MatMul(f).MatMul(l.w2);
+    Matrix next = f.MatMul(l.w1) + SpMM(a, f).MatMul(l.w2);
     f = ApplyActivation(l.act, next.AddRowBroadcast(l.b));
   }
   return f;

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "base/logging.h"
+#include "base/parallel.h"
+#include "tensor/sparse.h"
 
 namespace gelc {
 
@@ -19,32 +21,66 @@ const char* AggregationName(Aggregation agg) {
   return "unknown";
 }
 
+namespace {
+
+// Aggregation work (madds) below which AggregateNeighbors stays serial,
+// mirroring the SpMM/MatMul thresholds in tensor/.
+constexpr size_t kAggSerialWork = size_t{1} << 16;
+constexpr size_t kAggShardWork = size_t{1} << 15;
+
+}  // namespace
+
 Matrix AggregateNeighbors(const Graph& g, const Matrix& f, Aggregation agg) {
   GELC_CHECK(f.rows() == g.num_vertices());
   size_t n = f.rows();
   size_t d = f.cols();
+  // CSR rows are each vertex's ascending neighbor list; every output row
+  // is owned by one shard and accumulated in that fixed order, so the
+  // result is bit-identical for any thread count.
+  const CsrMatrix& a = g.Csr().adjacency();
   Matrix out(n, d);
-  for (size_t v = 0; v < n; ++v) {
-    const auto& nbrs = g.Neighbors(static_cast<VertexId>(v));
-    if (nbrs.empty()) continue;
-    switch (agg) {
-      case Aggregation::kSum:
-      case Aggregation::kMean:
-        for (VertexId u : nbrs)
-          for (size_t j = 0; j < d; ++j) out.At(v, j) += f.At(u, j);
-        if (agg == Aggregation::kMean) {
-          for (size_t j = 0; j < d; ++j)
-            out.At(v, j) /= static_cast<double>(nbrs.size());
+  const double* fdata = f.data().data();
+  double* odata = out.mutable_data().data();
+  auto row_range = [&a, fdata, odata, d, agg](size_t row_begin,
+                                              size_t row_end) {
+    for (size_t v = row_begin; v < row_end; ++v) {
+      size_t begin = a.row_offsets[v];
+      size_t end = a.row_offsets[v + 1];
+      if (begin == end) continue;
+      double* orow = odata + v * d;
+      switch (agg) {
+        case Aggregation::kSum:
+        case Aggregation::kMean:
+          for (size_t k = begin; k < end; ++k) {
+            const double* frow = fdata + size_t{a.col_indices[k]} * d;
+            for (size_t j = 0; j < d; ++j) orow[j] += frow[j];
+          }
+          if (agg == Aggregation::kMean) {
+            double deg = static_cast<double>(end - begin);
+            for (size_t j = 0; j < d; ++j) orow[j] /= deg;
+          }
+          break;
+        case Aggregation::kMax: {
+          const double* first = fdata + size_t{a.col_indices[begin]} * d;
+          for (size_t j = 0; j < d; ++j) orow[j] = first[j];
+          for (size_t k = begin + 1; k < end; ++k) {
+            const double* frow = fdata + size_t{a.col_indices[k]} * d;
+            for (size_t j = 0; j < d; ++j)
+              orow[j] = std::max(orow[j], frow[j]);
+          }
+          break;
         }
-        break;
-      case Aggregation::kMax:
-        for (size_t j = 0; j < d; ++j) out.At(v, j) = f.At(nbrs[0], j);
-        for (size_t i = 1; i < nbrs.size(); ++i)
-          for (size_t j = 0; j < d; ++j)
-            out.At(v, j) = std::max(out.At(v, j), f.At(nbrs[i], j));
-        break;
+      }
     }
+  };
+  size_t work = a.nnz() * std::max<size_t>(d, 1);
+  if (work < kAggSerialWork || n == 0) {
+    row_range(0, n);
+    return out;
   }
+  size_t row_work = std::max<size_t>(1, work / n);
+  size_t grain = std::max<size_t>(1, kAggShardWork / row_work);
+  ParallelFor(0, n, grain, row_range);
   return out;
 }
 
@@ -199,21 +235,12 @@ Result<Matrix> GcnModel::VertexEmbeddings(const Graph& g) const {
   if (g.feature_dim() != layers_.front().w.rows()) {
     return Status::InvalidArgument("graph feature dim does not match model");
   }
-  size_t n = g.num_vertices();
-  // Normalized adjacency with self-loops: D̃^{-1/2} (A + I) D̃^{-1/2}.
-  Matrix a = g.AdjacencyMatrix();
-  for (size_t v = 0; v < n; ++v) a.At(v, v) += 1.0;
-  std::vector<double> dinv(n);
-  for (size_t v = 0; v < n; ++v) {
-    double deg = 0.0;
-    for (size_t u = 0; u < n; ++u) deg += a.At(v, u);
-    dinv[v] = 1.0 / std::sqrt(deg);
-  }
-  for (size_t v = 0; v < n; ++v)
-    for (size_t u = 0; u < n; ++u) a.At(v, u) *= dinv[v] * dinv[u];
+  // Normalized adjacency with self-loops, D̃^{-1/2} (A + I) D̃^{-1/2},
+  // prebuilt in CSR form so the propagation never densifies.
+  const CsrMatrix& a = g.Csr().normalized();
   Matrix f = g.features();
   for (const Layer& l : layers_) {
-    f = ApplyActivation(l.act, a.MatMul(f).MatMul(l.w));
+    f = ApplyActivation(l.act, SpMM(a, f).MatMul(l.w));
   }
   return f;
 }

@@ -44,10 +44,15 @@ Result<std::unique_ptr<TrainableGnn>> TrainableGnn::Create(
 ValueId TrainableGnn::VertexEmbeddings(Tape* tape, const Graph& g) const {
   GELC_CHECK(g.feature_dim() == config_.widths.front());
   ValueId f = tape->Input(g.features());
-  ValueId a = tape->Input(g.AdjacencyMatrix());
+  // The graph's cached CSR handle is shared by every tape built over g
+  // during training — no per-step adjacency materialization at all
+  // (previously this rebuilt a dense n x n Input each forward call). The
+  // graph must outlive the tape and stay unmutated while it is in use.
+  const CsrGraph& csr = g.Csr();
   for (const auto& layer : layers_) {
     ValueId self = tape->MatMul(f, tape->Param(&layer->w1));
-    ValueId nbr = tape->MatMul(tape->MatMul(a, f), tape->Param(&layer->w2));
+    ValueId agg = tape->SparseMatMul(&csr.adjacency(), &csr.transpose(), f);
+    ValueId nbr = tape->MatMul(agg, tape->Param(&layer->w2));
     ValueId pre = tape->AddRowBroadcast(tape->Add(self, nbr),
                                         tape->Param(&layer->b));
     f = tape->Act(config_.act, pre);

@@ -1,0 +1,78 @@
+#include "graph/csr.h"
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "base/logging.h"
+#include "graph/graph.h"
+
+namespace gelc {
+
+namespace {
+
+// Packs adjacency lists (already ascending per row) into binary CSR.
+CsrMatrix PackLists(size_t n,
+                    const std::function<const std::vector<VertexId>&(VertexId)>&
+                        row) {
+  CsrMatrix out;
+  out.rows = n;
+  out.cols = n;
+  out.row_offsets.reserve(n + 1);
+  out.row_offsets.push_back(0);
+  for (size_t v = 0; v < n; ++v) {
+    const std::vector<VertexId>& nbrs = row(static_cast<VertexId>(v));
+    out.col_indices.insert(out.col_indices.end(), nbrs.begin(), nbrs.end());
+    out.row_offsets.push_back(out.col_indices.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+CsrGraph::CsrGraph(const Graph& g) : symmetric_(!g.directed()) {
+  size_t n = g.num_vertices();
+  adjacency_ =
+      PackLists(n, [&g](VertexId v) -> const std::vector<VertexId>& {
+        return g.Neighbors(v);
+      });
+  if (!symmetric_) {
+    transpose_ =
+        PackLists(n, [&g](VertexId v) -> const std::vector<VertexId>& {
+          return g.InNeighbors(v);
+        });
+  }
+
+  // GCN normalization, matching the dense formula entry for entry:
+  // Ã = A + I, D̃_vv = Σ_u Ã_vu (out-degree + 1), entry (v,u) of the
+  // operator is Ã_vu / sqrt(D̃_vv · D̃_uu).
+  std::vector<double> dinv(n);
+  for (size_t v = 0; v < n; ++v) {
+    size_t deg = g.OutDegree(static_cast<VertexId>(v)) + 1;
+    dinv[v] = 1.0 / std::sqrt(static_cast<double>(deg));
+  }
+  normalized_.rows = n;
+  normalized_.cols = n;
+  normalized_.row_offsets.reserve(n + 1);
+  normalized_.row_offsets.push_back(0);
+  normalized_.col_indices.reserve(adjacency_.nnz() + n);
+  normalized_.values.reserve(adjacency_.nnz() + n);
+  for (size_t v = 0; v < n; ++v) {
+    bool self_done = false;
+    auto push = [this, &dinv, v](size_t u) {
+      normalized_.col_indices.push_back(static_cast<uint32_t>(u));
+      normalized_.values.push_back(dinv[v] * dinv[u]);
+    };
+    for (VertexId u : g.Neighbors(static_cast<VertexId>(v))) {
+      if (!self_done && u > v) {
+        push(v);
+        self_done = true;
+      }
+      push(u);  // Graph rejects self-loops, so u != v and order stays sorted.
+    }
+    if (!self_done) push(v);
+    normalized_.row_offsets.push_back(normalized_.col_indices.size());
+  }
+}
+
+}  // namespace gelc

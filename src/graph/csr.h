@@ -1,0 +1,48 @@
+// The CSR view of a Graph: the sparse operators every message-passing
+// path needs, built once and cached on the Graph (graph.h's Csr()).
+//
+// Three operators per graph, all in sorted-CSR form (tensor/sparse.h):
+//   adjacency()   — A, binary out-adjacency (row v = out-neighbors of v)
+//   transpose()   — Aᵀ, binary in-adjacency (the backward operator for
+//                   the SparseMatMul tape op)
+//   normalized()  — D̃^{-1/2} (A + I) D̃^{-1/2} with D̃ = out-degree + 1,
+//                   the GCN propagation operator, weighted
+// For undirected graphs A is symmetric, so transpose() shares storage
+// with adjacency().
+#ifndef GELC_GRAPH_CSR_H_
+#define GELC_GRAPH_CSR_H_
+
+#include "tensor/sparse.h"
+
+namespace gelc {
+
+class Graph;
+
+/// Immutable CSR snapshot of a Graph's structure. Obtain via Graph::Csr()
+/// (cached, invalidated on mutation) rather than constructing directly.
+class CsrGraph {
+ public:
+  explicit CsrGraph(const Graph& g);
+
+  /// Binary adjacency A: row v lists v's out-neighbors ascending.
+  const CsrMatrix& adjacency() const { return adjacency_; }
+  /// Binary transpose Aᵀ: row v lists v's in-neighbors ascending.
+  const CsrMatrix& transpose() const {
+    return symmetric_ ? adjacency_ : transpose_;
+  }
+  /// GCN operator D̃^{-1/2} (A + I) D̃^{-1/2} (self-loops included, so no
+  /// row is zero; isolated vertices get the 1x1 identity block).
+  const CsrMatrix& normalized() const { return normalized_; }
+
+  size_t num_vertices() const { return adjacency_.rows; }
+
+ private:
+  bool symmetric_;
+  CsrMatrix adjacency_;
+  CsrMatrix transpose_;  // empty when symmetric_ (adjacency_ serves both)
+  CsrMatrix normalized_;
+};
+
+}  // namespace gelc
+
+#endif  // GELC_GRAPH_CSR_H_

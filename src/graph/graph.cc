@@ -50,6 +50,7 @@ Status Graph::AddEdge(VertexId u, VertexId v) {
     SortedInsert(&in_[u], v);
     ++num_arcs_;
   }
+  csr_.reset();  // structure changed; the CSR snapshot is stale
   return Status::OK();
 }
 
@@ -69,11 +70,17 @@ void Graph::SetOneHotFeature(VertexId v, size_t k) {
 }
 
 Matrix Graph::AdjacencyMatrix() const {
+  ++dense_adjacency_builds_;
   size_t n = num_vertices();
   Matrix a(n, n);
   for (size_t u = 0; u < n; ++u)
     for (VertexId v : out_[u]) a.At(u, v) = 1.0;
   return a;
+}
+
+const CsrGraph& Graph::Csr() const {
+  if (csr_ == nullptr) csr_ = std::make_shared<const CsrGraph>(*this);
+  return *csr_;
 }
 
 Matrix Graph::MeanAdjacencyMatrix() const {

@@ -8,10 +8,12 @@
 #define GELC_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "base/status.h"
+#include "graph/csr.h"
 #include "tensor/matrix.h"
 
 namespace gelc {
@@ -67,10 +69,25 @@ class Graph {
   /// Returns v's feature row as a 1 x d matrix.
   Matrix Feature(VertexId v) const { return features_.Row(v); }
 
-  /// Dense n x n 0/1 adjacency matrix.
+  /// Dense n x n 0/1 adjacency matrix. Costs O(n²) memory — the GNN hot
+  /// paths use Csr() instead; this stays for the linear-algebra
+  /// experiments (spectra, hom-count algebra) that need a dense operator.
   Matrix AdjacencyMatrix() const;
   /// Row-normalized adjacency D^{-1} A (isolated vertices give zero rows).
   Matrix MeanAdjacencyMatrix() const;
+
+  /// The CSR view (adjacency, transpose, GCN-normalized operators), built
+  /// on first call and cached; AddEdge invalidates the cache. The
+  /// returned reference lives until the next mutation (trainers hold it
+  /// across a whole Tape, so don't mutate the graph mid-training). Like
+  /// all mutating-on-first-use paths, the first Csr() call is not
+  /// thread-safe; call it once before sharing the graph across shards.
+  const CsrGraph& Csr() const;
+
+  /// How many times a dense adjacency matrix has been materialized from
+  /// this graph (AdjacencyMatrix / MeanAdjacencyMatrix). Tests use this
+  /// to pin that the sparse hot paths never densify.
+  size_t dense_adjacency_builds() const { return dense_adjacency_builds_; }
 
   /// The image graph pi(G): vertex v is renamed perm[v]. perm must be a
   /// permutation of {0..n-1}. Used by invariance checks (slide 11).
@@ -96,6 +113,10 @@ class Graph {
   std::vector<std::vector<VertexId>> out_;
   std::vector<std::vector<VertexId>> in_;
   Matrix features_;
+  // Lazily-built CSR snapshot; shared so copies of an unmutated graph
+  // reuse it, reset on mutation. Never exposed mutably.
+  mutable std::shared_ptr<const CsrGraph> csr_;
+  mutable size_t dense_adjacency_builds_ = 0;
 };
 
 }  // namespace gelc

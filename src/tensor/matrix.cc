@@ -77,8 +77,10 @@ void Matrix::MatMulImpl(const Matrix& other, Matrix* out) const {
                                                      size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
       for (size_t k = 0; k < inner; ++k) {
+        // No skip-zero branch: sparse operands go through SpMM
+        // (tensor/sparse.h); a data-dependent branch per element only
+        // pessimizes the dense inner loop.
         double a = data_[i * inner + k];
-        if (a == 0.0) continue;
         const double* brow = &other.data_[k * ocols];
         double* orow = &out->data_[i * ocols];
         for (size_t j = 0; j < ocols; ++j) orow[j] += a * brow[j];

@@ -1,0 +1,291 @@
+// Tests for the sparse execution path: CsrMatrix/SpMM (tensor/sparse.h),
+// the cached CsrGraph view (graph/csr.h, Graph::Csr()), the SparseMatMul
+// tape op, and the CSR-backed GNN hot paths. The contract under test:
+// SpMM is bit-identical to the dense product for any thread count, and no
+// GNN forward/backward ever materializes a dense n x n adjacency.
+#include "tensor/sparse.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autodiff/tape.h"
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "gnn/gnn101.h"
+#include "gnn/mpnn.h"
+#include "gnn/trainable.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace gelc {
+namespace {
+
+struct ScopedThreads {
+  explicit ScopedThreads(size_t n) { SetParallelThreadCount(n); }
+  ~ScopedThreads() { SetParallelThreadCount(0); }
+};
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::RandomUniform(rows, cols, -1.0, 1.0, &rng);
+}
+
+TEST(CsrMatrixTest, FromDenseToDenseRoundTrip) {
+  Matrix m = {{0.0, 2.0, 0.0}, {1.0, 0.0, -3.0}, {0.0, 0.0, 0.0}};
+  CsrMatrix csr = CsrMatrix::FromDense(m);
+  EXPECT_EQ(csr.nnz(), 3u);
+  EXPECT_TRUE(csr.weighted());
+  EXPECT_TRUE(csr.ToDense() == m);
+}
+
+TEST(CsrMatrixTest, TransposedMatchesDenseTranspose) {
+  Matrix m = RandomMatrix(7, 5, 3).Map([](double x) {
+    return x > 0.4 ? x : 0.0;
+  });
+  CsrMatrix csr = CsrMatrix::FromDense(m);
+  EXPECT_TRUE(csr.Transposed().ToDense() == m.Transposed());
+}
+
+TEST(CsrGraphTest, MatchesAdjacencyListsOnEmptyAndIsolated) {
+  Graph empty;
+  EXPECT_EQ(empty.Csr().adjacency().rows, 0u);
+  EXPECT_EQ(empty.Csr().adjacency().row_offsets.size(), 1u);
+
+  // 4 vertices, one edge, two isolated vertices.
+  Graph g(4, 1);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  const CsrMatrix& a = g.Csr().adjacency();
+  EXPECT_EQ(a.nnz(), 2u);  // undirected: both arcs
+  EXPECT_EQ(a.row_offsets[1] - a.row_offsets[0], 1u);
+  EXPECT_EQ(a.row_offsets[2] - a.row_offsets[1], 0u);  // isolated
+  EXPECT_EQ(a.row_offsets[4] - a.row_offsets[3], 0u);  // isolated
+  // Isolated vertices still get their self-loop in the GCN operator,
+  // with D̃ = 1 so the value is exactly 1.
+  const CsrMatrix& norm = g.Csr().normalized();
+  EXPECT_EQ(norm.row_offsets[2] - norm.row_offsets[1], 1u);
+  EXPECT_EQ(norm.values[norm.row_offsets[1]], 1.0);
+}
+
+TEST(CsrGraphTest, DirectedTransposeIsInAdjacency) {
+  Graph g(3, 1, /*directed=*/true);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1).ok());
+  Matrix a = g.Csr().adjacency().ToDense();
+  Matrix at = g.Csr().transpose().ToDense();
+  EXPECT_TRUE(at == a.Transposed());
+}
+
+TEST(CsrGraphTest, NormalizedMatchesDenseGcnFormula) {
+  Rng rng(5);
+  Graph g = RandomGnp(30, 0.2, &rng);
+  size_t n = g.num_vertices();
+  // The dense reference: Ã = A + I, entry (v,u) / sqrt(D̃_vv D̃_uu).
+  Matrix a = g.AdjacencyMatrix();
+  for (size_t v = 0; v < n; ++v) a.At(v, v) += 1.0;
+  std::vector<double> dinv(n);
+  for (size_t v = 0; v < n; ++v) {
+    double deg = 0.0;
+    for (size_t u = 0; u < n; ++u) deg += a.At(v, u);
+    dinv[v] = 1.0 / std::sqrt(deg);
+  }
+  for (size_t v = 0; v < n; ++v)
+    for (size_t u = 0; u < n; ++u) a.At(v, u) *= dinv[v] * dinv[u];
+  EXPECT_TRUE(g.Csr().normalized().ToDense() == a);
+}
+
+TEST(CsrGraphTest, CacheInvalidatedByMutation) {
+  Graph g(5, 1);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  const CsrGraph* before = &g.Csr();
+  EXPECT_EQ(&g.Csr(), before);  // cached: same snapshot on repeated calls
+  EXPECT_EQ(g.Csr().adjacency().nnz(), 2u);
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_EQ(g.Csr().adjacency().nnz(), 4u);  // rebuilt with the new edge
+  EXPECT_TRUE(g.Csr().adjacency().ToDense() == g.AdjacencyMatrix());
+}
+
+TEST(SpMMTest, BitIdenticalToDenseOnRandomGraphsAnyThreadCount) {
+  Rng rng(11);
+  // Large enough that the parallel path engages (nnz * d >= 2^16).
+  for (size_t n : {40, 200}) {
+    Graph g = RandomGnp(n, 0.15, &rng);
+    CsrMatrix a = g.Csr().adjacency();
+    Matrix dense = g.AdjacencyMatrix();
+    Matrix f = RandomMatrix(n, 32, n);
+    Matrix expected, serial, parallel;
+    {
+      ScopedThreads threads(1);
+      expected = dense.MatMul(f);
+      serial = SpMM(a, f);
+    }
+    {
+      ScopedThreads threads(4);
+      parallel = SpMM(a, f);
+    }
+    EXPECT_TRUE(serial == expected) << "n=" << n;
+    EXPECT_TRUE(parallel == expected) << "n=" << n;
+  }
+}
+
+TEST(SpMMTest, WeightedAndSelfLoopsBitIdenticalToDense) {
+  // A CSR with self-loops and weights (the GCN operator shape).
+  Rng rng(13);
+  Graph g = RandomGnp(120, 0.1, &rng);
+  const CsrMatrix& norm = g.Csr().normalized();
+  Matrix dense = norm.ToDense();
+  Matrix f = RandomMatrix(120, 48, 7);
+  Matrix serial, parallel;
+  {
+    ScopedThreads threads(1);
+    serial = SpMM(norm, f);
+  }
+  {
+    ScopedThreads threads(4);
+    parallel = SpMM(norm, f);
+  }
+  EXPECT_TRUE(serial == dense.MatMul(f));
+  EXPECT_TRUE(serial == parallel);
+}
+
+TEST(SpMMTest, IntoReusesStorage) {
+  Rng rng(17);
+  Graph g = RandomGnp(30, 0.2, &rng);
+  const CsrMatrix& a = g.Csr().adjacency();
+  Matrix f = RandomMatrix(30, 8, 1);
+  Matrix out;
+  SpMMInto(a, f, &out);
+  EXPECT_TRUE(out == SpMM(a, f));
+  const double* storage = out.data().data();
+  Matrix f2 = RandomMatrix(30, 8, 2);
+  SpMMInto(a, f2, &out);
+  EXPECT_EQ(out.data().data(), storage);
+  EXPECT_TRUE(out == SpMM(a, f2));
+}
+
+TEST(AggregateNeighborsTest, ThreadInvariantAndMatchesSpMM) {
+  Rng rng(19);
+  Graph g = RandomGnp(150, 0.12, &rng);
+  Matrix f = RandomMatrix(150, 24, 3);
+  for (Aggregation agg :
+       {Aggregation::kSum, Aggregation::kMean, Aggregation::kMax}) {
+    Matrix serial, parallel;
+    {
+      ScopedThreads threads(1);
+      serial = AggregateNeighbors(g, f, agg);
+    }
+    {
+      ScopedThreads threads(4);
+      parallel = AggregateNeighbors(g, f, agg);
+    }
+    EXPECT_TRUE(serial == parallel) << AggregationName(agg);
+  }
+  EXPECT_TRUE(AggregateNeighbors(g, f, Aggregation::kSum) ==
+              SpMM(g.Csr().adjacency(), f));
+}
+
+// Central finite differences against the analytic SparseMatMul backward.
+void CheckSparseMatMulGradient(const Graph& g, uint64_t seed) {
+  size_t n = g.num_vertices();
+  size_t d = 3;
+  const CsrGraph& csr = g.Csr();
+  Rng rng(seed);
+  Parameter x(Matrix::RandomGaussian(n, d, 0.5, &rng));
+  Matrix target = Matrix::RandomGaussian(n, d, 0.5, &rng);
+
+  auto loss_at = [&](const Matrix& value) {
+    Tape tape;
+    Parameter probe(value);
+    ValueId y = tape.SparseMatMul(&csr.adjacency(), &csr.transpose(),
+                                  tape.Param(&probe));
+    ValueId loss = tape.Mse(y, target);
+    return tape.value(loss).At(0, 0);
+  };
+
+  Tape tape;
+  ValueId y = tape.SparseMatMul(&csr.adjacency(), &csr.transpose(),
+                                tape.Param(&x));
+  ValueId loss = tape.Mse(y, target);
+  x.ZeroGrad();
+  tape.Backward(loss);
+
+  const double eps = 1e-6;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      Matrix plus = x.value, minus = x.value;
+      plus.At(i, j) += eps;
+      minus.At(i, j) -= eps;
+      double fd = (loss_at(plus) - loss_at(minus)) / (2.0 * eps);
+      EXPECT_NEAR(x.grad.At(i, j), fd, 1e-5)
+          << "entry (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(SparseMatMulTapeTest, GradientMatchesFiniteDifferencesUndirected) {
+  Rng rng(23);
+  CheckSparseMatMulGradient(RandomGnp(12, 0.3, &rng), 29);
+}
+
+TEST(SparseMatMulTapeTest, GradientMatchesFiniteDifferencesDirected) {
+  // Directed: backward genuinely needs the transpose CSR (Aᵀ ≠ A).
+  Graph g(8, 1, /*directed=*/true);
+  Rng rng(31);
+  for (size_t u = 0; u < 8; ++u)
+    for (size_t v = 0; v < 8; ++v)
+      if (u != v && rng.NextUniform(0.0, 1.0) < 0.3) {
+        ASSERT_TRUE(g.AddEdge(static_cast<VertexId>(u),
+                              static_cast<VertexId>(v)).ok());
+      }
+  CheckSparseMatMulGradient(g, 37);
+}
+
+TEST(SparseMatMulTapeTest, ForwardMatchesDenseMatMulOnTape) {
+  Rng rng(41);
+  Graph g = RandomGnp(25, 0.2, &rng);
+  const CsrGraph& csr = g.Csr();
+  Matrix f = RandomMatrix(25, 6, 43);
+  Tape tape;
+  ValueId b = tape.Input(f);
+  ValueId sparse = tape.SparseMatMul(&csr.adjacency(), &csr.transpose(), b);
+  ValueId dense = tape.MatMul(tape.Input(g.AdjacencyMatrix()), b);
+  EXPECT_TRUE(tape.value(sparse) == tape.value(dense));
+}
+
+// The headline guarantee: none of the rewired forward/backward paths
+// materializes a dense n x n adjacency (Graph counts every dense build).
+TEST(DenseFreeHotPathTest, ForwardAndTrainingNeverDensifyAdjacency) {
+  Rng rng(47);
+  Graph g = RandomGnp(40, 0.15, &rng);
+  ASSERT_EQ(g.dense_adjacency_builds(), 0u);
+
+  ASSERT_TRUE(
+      Gnn101Model::Random({1, 8, 8}, Activation::kReLU, 0.5, &rng)
+          ->VertexEmbeddings(g)
+          .ok());
+  ASSERT_TRUE(MpnnModel::Random({1, 8, 8}, Aggregation::kMean, 0.5, &rng)
+                  ->VertexEmbeddings(g)
+                  .ok());
+  ASSERT_TRUE(GinModel::Random({1, 8, 8}, 0.5, &rng)->VertexEmbeddings(g).ok());
+  ASSERT_TRUE(GcnModel::Random({1, 8, 8}, 0.5, &rng)->VertexEmbeddings(g).ok());
+  ASSERT_TRUE(
+      GraphSageModel::Random({1, 8, 8}, 0.5, &rng)->VertexEmbeddings(g).ok());
+
+  TrainableGnn::Config cfg;
+  cfg.widths = {1, 8};
+  auto model = TrainableGnn::Create(cfg).value();
+  Tape tape;
+  ValueId logits = model->GraphLogits(&tape, g);
+  ValueId loss = tape.SoftmaxCrossEntropy(logits, {0});
+  tape.Backward(loss);
+
+  EXPECT_EQ(g.dense_adjacency_builds(), 0u);
+  // ...while the dense API still works (and is counted) for callers that
+  // genuinely need the dense operator.
+  g.AdjacencyMatrix();
+  EXPECT_EQ(g.dense_adjacency_builds(), 1u);
+}
+
+}  // namespace
+}  // namespace gelc
