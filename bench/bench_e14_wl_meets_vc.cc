@@ -94,8 +94,8 @@ int main() {
     for (size_t u = 0; u < 8; ++u) {
       for (size_t v = u + 1; v < 8; ++v)
         if (grng.NextBernoulli(0.35))
-          (void)g.AddEdge(static_cast<VertexId>(u),
-                          static_cast<VertexId>(v));
+          GELC_CHECK_OK(g.AddEdge(static_cast<VertexId>(u),
+                                  static_cast<VertexId>(v)));
       g.SetOneHotFeature(static_cast<VertexId>(u), grng.NextBounded(4));
     }
     for (int copy = 0; copy < 5; ++copy) {
@@ -114,8 +114,8 @@ int main() {
     for (size_t u = 0; u < 8; ++u) {
       for (size_t v = u + 1; v < 8; ++v)
         if (rng.NextBernoulli(0.35))
-          (void)g.AddEdge(static_cast<VertexId>(u),
-                          static_cast<VertexId>(v));
+          GELC_CHECK_OK(g.AddEdge(static_cast<VertexId>(u),
+                                  static_cast<VertexId>(v)));
       g.SetOneHotFeature(static_cast<VertexId>(u), rng.NextBounded(4));
     }
     uniq_graphs.push_back(std::move(g));

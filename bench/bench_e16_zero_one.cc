@@ -27,7 +27,8 @@ Graph RandomLabelledGnp(size_t n, Rng* rng) {
   for (size_t u = 0; u < n; ++u) {
     for (size_t v = u + 1; v < n; ++v)
       if (rng->NextBernoulli(0.5))
-        (void)g.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+        GELC_CHECK_OK(
+            g.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v)));
     g.SetOneHotFeature(static_cast<VertexId>(u), rng->NextBounded(2));
   }
   return g;

@@ -95,13 +95,13 @@ int main() {
   cases.push_back({"lollipop", [] {
                      Graph g = Graph::Unlabeled(7);
                      // triangle 0-1-2 with a tail 2-3-4-5-6.
-                     (void)g.AddEdge(0, 1);
-                     (void)g.AddEdge(1, 2);
-                     (void)g.AddEdge(0, 2);
-                     (void)g.AddEdge(2, 3);
-                     (void)g.AddEdge(3, 4);
-                     (void)g.AddEdge(4, 5);
-                     (void)g.AddEdge(5, 6);
+                     GELC_CHECK_OK(g.AddEdge(0, 1));
+                     GELC_CHECK_OK(g.AddEdge(1, 2));
+                     GELC_CHECK_OK(g.AddEdge(0, 2));
+                     GELC_CHECK_OK(g.AddEdge(2, 3));
+                     GELC_CHECK_OK(g.AddEdge(3, 4));
+                     GELC_CHECK_OK(g.AddEdge(4, 5));
+                     GELC_CHECK_OK(g.AddEdge(5, 6));
                      return g;
                    }()});
   for (int i = 0; i < 5; ++i) {

@@ -25,8 +25,8 @@ std::pair<RelationalGraph, RelationalGraph> CyclePair(size_t n) {
   for (size_t i = 0; i < n; ++i) {
     VertexId u = static_cast<VertexId>(i);
     VertexId v = static_cast<VertexId>((i + 1) % n);
-    (void)alt.AddEdge(i % 2, u, v);          // alternate relations
-    (void)adj.AddEdge(i < n / 2 ? 0 : 1, u, v);  // two arcs of each
+    GELC_CHECK_OK(alt.AddEdge(i % 2, u, v));          // alternate relations
+    GELC_CHECK_OK(adj.AddEdge(i < n / 2 ? 0 : 1, u, v));  // two arcs of each
     alt.SetOneHotFeature(u, 0);
     adj.SetOneHotFeature(u, 0);
   }

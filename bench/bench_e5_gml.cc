@@ -35,8 +35,8 @@ int main() {
       for (size_t u = 0; u < n; ++u) {
         for (size_t v = u + 1; v < n; ++v)
           if (rng.NextBernoulli(0.3))
-            (void)g.AddEdge(static_cast<VertexId>(u),
-                            static_cast<VertexId>(v));
+            GELC_CHECK_OK(g.AddEdge(static_cast<VertexId>(u),
+                                    static_cast<VertexId>(v)));
         g.SetOneHotFeature(static_cast<VertexId>(u),
                            rng.NextBounded(kLabels));
       }

@@ -24,8 +24,7 @@ Graph LabelledStar(const std::vector<size_t>& leaf_labels) {
   Graph g(leaf_labels.size() + 1, 3);
   g.SetOneHotFeature(0, 0);
   for (size_t i = 0; i < leaf_labels.size(); ++i) {
-    Status s = g.AddEdge(0, static_cast<VertexId>(i + 1));
-    (void)s;
+    GELC_CHECK_OK(g.AddEdge(0, static_cast<VertexId>(i + 1)));
     g.SetOneHotFeature(static_cast<VertexId>(i + 1), leaf_labels[i]);
   }
   return g;
@@ -38,8 +37,7 @@ Graph Pad3(Graph g) {
   for (size_t u = 0; u < g.num_vertices(); ++u) {
     for (VertexId v : g.Neighbors(static_cast<VertexId>(u))) {
       if (v < u) continue;
-      Status s = out.AddEdge(static_cast<VertexId>(u), v);
-      (void)s;
+      GELC_CHECK_OK(out.AddEdge(static_cast<VertexId>(u), v));
     }
     out.SetOneHotFeature(static_cast<VertexId>(u), 0);
   }

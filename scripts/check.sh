@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# The pre-PR gate: everything that must be green before a PR goes up.
+#
+#   1. static analysis     — gelc_lint over src/tests/bench/examples/tools
+#   2. warning-clean build — -Wall -Wextra -Werror (GELC_WERROR is ON by
+#                            default; this run would catch a local opt-out)
+#   3. full ctest          — the tier-1 suite, including the gelc_lint and
+#                            thread-variant (GELC_NUM_THREADS=1/4) tests
+#   4. sanitizer ctest     — ASAN+UBSAN build, full suite again
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip step 4 (the sanitizer rebuild) for quick iteration;
+#           the full run is still required before the PR.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== [1/4] build (with -Werror) =="
+cmake -B build -S . -DGELC_WERROR=ON >/dev/null
+cmake --build build -j >/dev/null
+
+echo "== [2/4] gelc_lint =="
+./build/tools/gelc_lint src tests bench examples tools
+
+echo "== [3/4] ctest =="
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$fast" == "1" ]]; then
+  echo "== [4/4] SKIPPED (--fast): ASAN/UBSAN ctest =="
+  exit 0
+fi
+
+echo "== [4/4] ASAN/UBSAN ctest =="
+cmake -B build-ubsan -S . -DGELC_ENABLE_ASAN=ON -DGELC_ENABLE_UBSAN=ON \
+  >/dev/null
+cmake --build build-ubsan -j >/dev/null
+(cd build-ubsan && ctest --output-on-failure -j)
+
+echo "check.sh: all gates green"

@@ -11,6 +11,8 @@
 #include <utility>
 #include <variant>
 
+#include "base/logging.h"
+
 namespace gelc {
 
 /// Machine-readable category of an error carried by a Status.
@@ -32,10 +34,15 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the OK case (no allocation).
 ///
+/// The class is [[nodiscard]]: every function returning a Status (or a
+/// Result<T>) is implicitly nodiscard, so silently dropping an error is a
+/// compile error under -Werror and a gelc_lint `unchecked-status`
+/// finding. Deliberate discards call IgnoreError() and say why.
+///
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -75,6 +82,12 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Explicitly abandons this status. The only sanctioned way to discard
+  /// an error: the call site documents that the failure mode is benign
+  /// (pair it with a comment saying why), instead of a (void) cast that
+  /// reads like an accident.
+  void IgnoreError() const {}
+
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;
 
@@ -92,8 +105,9 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 }
 
 /// A value of type T or an error Status. Analogous to arrow::Result.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -135,6 +149,10 @@ class Result {
     return ok() ? value() : std::move(fallback);
   }
 
+  /// Explicitly abandons this result (value and error alike); see
+  /// Status::IgnoreError().
+  void IgnoreError() const {}
+
  private:
   std::variant<T, Status> payload_;
 };
@@ -158,6 +176,29 @@ class Result {
 
 #define GELC_ASSIGN_OR_RETURN(lhs, rexpr) \
   GELC_ASSIGN_OR_RETURN_IMPL(GELC_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+namespace internal {
+/// Uniform error extraction for GELC_CHECK_OK over both Status and
+/// Result<T>.
+inline const Status& AsStatus(const Status& s) { return s; }
+template <typename T>
+Status AsStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal
+
+/// Aborts if `expr` (a Status or Result<T>) is not OK. For contexts where
+/// failure is a programmer error — test fixtures, benches building known-
+/// good inputs — never for validating external input.
+#define GELC_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    const auto& _st_ok = (expr);                                          \
+    if (!_st_ok.ok()) {                                                   \
+      ::gelc::CheckFailed(                                                \
+          ::gelc::internal::AsStatus(_st_ok).ToString().c_str(),          \
+          __FILE__, __LINE__);                                            \
+    }                                                                     \
+  } while (false)
 
 }  // namespace gelc
 

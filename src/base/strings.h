@@ -21,6 +21,34 @@ inline std::string FormatDouble(double x) {
   return buf;
 }
 
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters; everything else passes through,
+/// so valid UTF-8 stays valid UTF-8).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace gelc
 
 #endif  // GELC_BASE_STRINGS_H_

@@ -30,6 +30,7 @@ Result<ExprPtr> Expr::Label(size_t label_index, Var v) {
   if (v >= kMaxVariables) {
     return Status::OutOfRange("variable index out of range");
   }
+  // NOLINTNEXTLINE(banned-alloc): private ctor, goes into shared_ptr
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = Kind::kLabel;
   e->dim_ = 1;
@@ -46,6 +47,7 @@ Result<ExprPtr> Expr::Edge(Var a, Var b) {
   if (a == b) {
     return Status::InvalidArgument("edge atom needs two distinct variables");
   }
+  // NOLINTNEXTLINE(banned-alloc): private ctor, goes into shared_ptr
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = Kind::kEdge;
   e->dim_ = 1;
@@ -63,6 +65,7 @@ Result<ExprPtr> Expr::Compare(Var a, Var b, CmpOp op) {
     return Status::InvalidArgument(
         "comparison atom needs two distinct variables");
   }
+  // NOLINTNEXTLINE(banned-alloc): private ctor, goes into shared_ptr
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = Kind::kCompare;
   e->dim_ = 1;
@@ -77,6 +80,7 @@ Result<ExprPtr> Expr::Constant(std::vector<double> value) {
   if (value.empty()) {
     return Status::InvalidArgument("constant must have dimension >= 1");
   }
+  // NOLINTNEXTLINE(banned-alloc): private ctor, goes into shared_ptr
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = Kind::kConst;
   e->dim_ = value.size();
@@ -102,6 +106,7 @@ Result<ExprPtr> Expr::Apply(OmegaPtr fn, std::vector<ExprPtr> children) {
           ", expected " + std::to_string(fn->arg_dims[i]));
     }
   }
+  // NOLINTNEXTLINE(banned-alloc): private ctor, goes into shared_ptr
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = Kind::kApply;
   e->dim_ = fn->out_dim;
@@ -130,6 +135,7 @@ Result<ExprPtr> Expr::Aggregate(ThetaPtr agg, VarSet bound, ExprPtr value,
         " does not match " + agg->name + " input dimension " +
         std::to_string(agg->in_dim));
   }
+  // NOLINTNEXTLINE(banned-alloc): private ctor, goes into shared_ptr
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = Kind::kAggregate;
   e->dim_ = agg->out_dim;

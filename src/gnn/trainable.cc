@@ -38,6 +38,7 @@ Result<std::unique_ptr<TrainableGnn>> TrainableGnn::Create(
     return Status::InvalidArgument("num_outputs must be positive");
   }
   Rng rng(config.seed);
+  // NOLINTNEXTLINE(banned-alloc): private ctor, goes into unique_ptr
   return std::unique_ptr<TrainableGnn>(new TrainableGnn(config, &rng));
 }
 

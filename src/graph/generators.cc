@@ -363,9 +363,9 @@ GraphDataset SyntheticMolecules(size_t num_graphs, Rng* rng) {
       VertexId a = static_cast<VertexId>(perm_v[0]);
       VertexId b = static_cast<VertexId>(perm_v[1]);
       VertexId c = static_cast<VertexId>(perm_v[2]);
-      if (!mol.HasEdge(a, b)) (void)mol.AddEdge(a, b);
-      if (!mol.HasEdge(b, c)) (void)mol.AddEdge(b, c);
-      if (!mol.HasEdge(a, c)) (void)mol.AddEdge(a, c);
+      if (!mol.HasEdge(a, b)) GELC_CHECK_OK(mol.AddEdge(a, b));
+      if (!mol.HasEdge(b, c)) GELC_CHECK_OK(mol.AddEdge(b, c));
+      if (!mol.HasEdge(a, c)) GELC_CHECK_OK(mol.AddEdge(a, c));
       mol.SetOneHotFeature(a, 0);
       mol.SetOneHotFeature(b, 1);
       mol.SetOneHotFeature(c, 2);

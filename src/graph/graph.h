@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "base/logging.h"
 #include "base/status.h"
 #include "graph/csr.h"
 #include "tensor/matrix.h"
@@ -50,14 +51,22 @@ class Graph {
 
   /// Out-neighbors of v in ascending order.
   const std::vector<VertexId>& Neighbors(VertexId v) const {
+    GELC_DCHECK_LT(v, out_.size());
     return out_[v];
   }
   /// In-neighbors of v in ascending order.
   const std::vector<VertexId>& InNeighbors(VertexId v) const {
+    GELC_DCHECK_LT(v, in_.size());
     return in_[v];
   }
-  size_t OutDegree(VertexId v) const { return out_[v].size(); }
-  size_t InDegree(VertexId v) const { return in_[v].size(); }
+  size_t OutDegree(VertexId v) const {
+    GELC_DCHECK_LT(v, out_.size());
+    return out_[v].size();
+  }
+  size_t InDegree(VertexId v) const {
+    GELC_DCHECK_LT(v, in_.size());
+    return in_[v].size();
+  }
 
   /// The n x d feature (label) matrix L_G.
   const Matrix& features() const { return features_; }

@@ -59,9 +59,9 @@ Graph RelationalGraph::CollapseRelations() const {
     for (size_t u = 0; u < n_; ++u) {
       for (VertexId v : relations_[r][u]) {
         if (v < u) continue;
-        Status s = g.AddEdge(static_cast<VertexId>(u), v);
-        // Parallel edges across relations collapse silently.
-        (void)s;
+        // Parallel edges across relations collapse silently
+        // (kAlreadyExists is the expected outcome, not an error).
+        g.AddEdge(static_cast<VertexId>(u), v).IgnoreError();
       }
     }
   }

@@ -1,0 +1,287 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace gelc {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Cursor over the source with line tracking.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  int line() const { return line_; }
+  size_t pos() const { return pos_; }
+
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  /// Consumes `s` if it is next; returns whether it was.
+  bool Consume(std::string_view s) {
+    if (src_.substr(pos_, s.size()) != s) return false;
+    for (size_t i = 0; i < s.size(); ++i) Advance();
+    return true;
+  }
+
+  std::string_view Slice(size_t from, size_t to) const {
+    return src_.substr(from, to - from);
+  }
+
+ private:
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Parses the rule list of a NOLINT marker inside comment text and records
+/// it against `line`. Recognizes `NOLINT`, `NOLINTNEXTLINE` (applies to
+/// the following line), and either form with a `(rule-a, rule-b)` list; a
+/// bare marker (or an empty/unclosed rule list) suppresses all rules.
+void RecordNolint(std::string_view comment, int line, NolintMap* nolint) {
+  size_t at = comment.find("NOLINT");
+  if (at == std::string_view::npos) return;
+  size_t paren = at + 6;  // just past "NOLINT"
+  if (comment.substr(paren, 8) == "NEXTLINE") {
+    paren += 8;
+    ++line;
+  }
+  auto& rules = (*nolint)[line];  // creates the all-rules entry
+  if (paren >= comment.size() || comment[paren] != '(') return;
+  size_t close = comment.find(')', paren);
+  if (close == std::string_view::npos) return;
+  std::string_view list = comment.substr(paren + 1, close - paren - 1);
+  std::string current;
+  auto flush = [&rules, &current]() {
+    if (!current.empty()) rules.insert(current);
+    current.clear();
+  };
+  for (char c : list) {
+    if (c == ',') {
+      flush();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      current.push_back(c);
+    }
+  }
+  flush();
+}
+
+/// Punctuators that are meaningful to the rules as multi-char units.
+/// Everything else is emitted one character at a time.
+constexpr std::string_view kMultiCharPuncts[] = {
+    "::", "->", "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "...",
+};
+
+}  // namespace
+
+LexResult Lex(std::string_view source) {
+  LexResult out;
+  Scanner s(source);
+
+  auto emit = [&out](TokenKind kind, std::string_view text, int line) {
+    out.tokens.push_back(Token{kind, std::string(text), line});
+  };
+
+  // Consumes a quoted literal body after the opening quote, honoring
+  // backslash escapes, up to `quote` or end of line/input.
+  auto skip_quoted = [&s](char quote) {
+    while (!s.AtEnd()) {
+      char c = s.Peek();
+      if (c == '\\' && s.Peek(1) != '\0') {
+        s.Advance();
+        s.Advance();
+        continue;
+      }
+      if (c == '\n') return;  // unterminated; tolerate
+      s.Advance();
+      if (c == quote) return;
+    }
+  };
+
+  while (!s.AtEnd()) {
+    char c = s.Peek();
+    int line = s.line();
+
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      s.Advance();
+      continue;
+    }
+
+    // Line comment (may carry a NOLINT marker).
+    if (c == '/' && s.Peek(1) == '/') {
+      size_t start = s.pos();
+      while (!s.AtEnd() && s.Peek() != '\n') s.Advance();
+      RecordNolint(s.Slice(start, s.pos()), line, &out.nolint);
+      continue;
+    }
+
+    // Block comment. A NOLINT marker applies to the line the comment
+    // starts on.
+    if (c == '/' && s.Peek(1) == '*') {
+      size_t start = s.pos();
+      s.Advance();
+      s.Advance();
+      while (!s.AtEnd() && !(s.Peek() == '*' && s.Peek(1) == '/')) s.Advance();
+      s.Consume("*/");
+      RecordNolint(s.Slice(start, s.pos()), line, &out.nolint);
+      continue;
+    }
+
+    // Preprocessor directive: only at the start of a (logical) line.
+    // Consume through end of line honoring backslash continuations and
+    // comments; directive bodies (macro definitions, include paths) are
+    // outside the linted token stream, but NOLINT markers still count.
+    if (c == '#') {
+      bool at_line_start = true;
+      for (size_t i = s.pos(); i-- > 0;) {
+        char p = source[i];
+        if (p == '\n') break;
+        if (!std::isspace(static_cast<unsigned char>(p))) {
+          at_line_start = false;
+          break;
+        }
+      }
+      if (at_line_start) {
+        while (!s.AtEnd()) {
+          char p = s.Peek();
+          if (p == '\\' && s.Peek(1) == '\n') {
+            s.Advance();
+            s.Advance();
+            continue;
+          }
+          if (p == '/' && s.Peek(1) == '/') {
+            size_t cstart = s.pos();
+            int cline = s.line();
+            while (!s.AtEnd() && s.Peek() != '\n') s.Advance();
+            RecordNolint(s.Slice(cstart, s.pos()), cline, &out.nolint);
+            break;
+          }
+          if (p == '/' && s.Peek(1) == '*') {
+            size_t cstart = s.pos();
+            int cline = s.line();
+            s.Advance();
+            s.Advance();
+            while (!s.AtEnd() && !(s.Peek() == '*' && s.Peek(1) == '/'))
+              s.Advance();
+            s.Consume("*/");
+            RecordNolint(s.Slice(cstart, s.pos()), cline, &out.nolint);
+            continue;
+          }
+          if (p == '\n') break;
+          s.Advance();
+        }
+        continue;
+      }
+      // A '#' not at line start (stringize inside code is macro-only
+      // anyway): treat as punctuation.
+      s.Advance();
+      emit(TokenKind::kPunct, "#", line);
+      continue;
+    }
+
+    // Identifier, keyword, or a prefixed string/char literal.
+    if (IsIdentStart(c)) {
+      size_t start = s.pos();
+      while (!s.AtEnd() && IsIdentChar(s.Peek())) s.Advance();
+      std::string_view word = s.Slice(start, s.pos());
+      // Raw string: R"delim( ... )delim", with optional encoding prefix.
+      if ((word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+           word == "LR") &&
+          s.Peek() == '"') {
+        s.Advance();  // opening quote
+        std::string delim;
+        while (!s.AtEnd() && s.Peek() != '(') delim.push_back(s.Advance());
+        if (!s.AtEnd()) s.Advance();  // '('
+        std::string closer = ")" + delim + "\"";
+        size_t body_start = s.pos();
+        size_t found = source.find(closer, body_start);
+        while (!s.AtEnd() &&
+               (found == std::string_view::npos || s.pos() < found)) {
+          s.Advance();
+        }
+        s.Consume(closer);
+        emit(TokenKind::kString, s.Slice(start, s.pos()), line);
+        continue;
+      }
+      // Prefixed ordinary literal: u8"x", L'c', ...
+      if ((word == "u8" || word == "u" || word == "U" || word == "L") &&
+          (s.Peek() == '"' || s.Peek() == '\'')) {
+        char quote = s.Advance();
+        skip_quoted(quote);
+        emit(quote == '"' ? TokenKind::kString : TokenKind::kChar,
+             s.Slice(start, s.pos()), line);
+        continue;
+      }
+      emit(TokenKind::kIdentifier, word, line);
+      continue;
+    }
+
+    // Number (we do not need precise grammar; digits, dots, exponents,
+    // hex/bin prefixes, digit separators, and suffixes all glob together).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(s.Peek(1))))) {
+      size_t start = s.pos();
+      while (!s.AtEnd()) {
+        char d = s.Peek();
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          s.Advance();
+          // Exponent sign: 1e-9, 0x1p+3.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+              (s.Peek() == '+' || s.Peek() == '-')) {
+            s.Advance();
+          }
+          continue;
+        }
+        break;
+      }
+      emit(TokenKind::kNumber, s.Slice(start, s.pos()), line);
+      continue;
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      size_t start = s.pos();
+      char quote = s.Advance();
+      skip_quoted(quote);
+      emit(quote == '"' ? TokenKind::kString : TokenKind::kChar,
+           s.Slice(start, s.pos()), line);
+      continue;
+    }
+
+    // Punctuation: longest multi-char match first.
+    {
+      size_t start = s.pos();
+      bool matched = false;
+      for (std::string_view p : kMultiCharPuncts) {
+        if (s.Consume(p)) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) s.Advance();
+      emit(TokenKind::kPunct, s.Slice(start, s.pos()), line);
+    }
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace gelc

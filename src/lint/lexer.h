@@ -1,0 +1,61 @@
+// A small C++ lexer for gelc_lint, the project-invariant static checker.
+//
+// This is not a full C++ front end: it produces exactly the token stream
+// the lint rules (lint/rules.h) need. It understands line and block
+// comments, string/char literals (including raw strings and escape
+// sequences), preprocessor directives (with backslash continuations), and
+// `// NOLINT` / `// NOLINT(rule-a,rule-b)` / `// NOLINTNEXTLINE(...)`
+// suppression comments. Comments
+// and preprocessor lines are *not* emitted as tokens — macro bodies are
+// deliberately outside the linted surface — but NOLINT markers are
+// collected into a per-line suppression map.
+#ifndef GELC_LINT_LEXER_H_
+#define GELC_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace gelc {
+namespace lint {
+
+/// The token classes the rules distinguish.
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (the lexer does not separate them)
+  kNumber,      // numeric literal, including suffixes
+  kString,      // "...", R"(...)", with encoding prefixes
+  kChar,        // '...'
+  kPunct,       // one operator/punctuator per token ("::" and "->" are one)
+};
+
+/// One lexed token. `text` is the exact source spelling.
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+
+  bool Is(std::string_view s) const { return text == s; }
+};
+
+/// Per-line NOLINT suppression: maps a 1-based line number to the set of
+/// suppressed rule names. An empty set means a bare `NOLINT` that
+/// suppresses every rule on that line.
+using NolintMap = std::unordered_map<int, std::unordered_set<std::string>>;
+
+/// The result of lexing one translation unit.
+struct LexResult {
+  std::vector<Token> tokens;
+  NolintMap nolint;
+};
+
+/// Lexes `source`. Never fails: unterminated literals or comments are
+/// tolerated by consuming to end of input, so the linter degrades
+/// gracefully on files it half-understands instead of crashing.
+LexResult Lex(std::string_view source);
+
+}  // namespace lint
+}  // namespace gelc
+
+#endif  // GELC_LINT_LEXER_H_

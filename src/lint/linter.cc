@@ -1,0 +1,164 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace gelc {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+/// Directories that must never be linted even when nested under a
+/// requested path: build trees and dot-directories.
+bool IsSkippedDir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return !name.empty() &&
+         (name[0] == '.' || name.rfind("build", 0) == 0);
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed on " + path);
+  return ss.str();
+}
+
+/// Normalizes to forward slashes so path-scoped rules behave identically
+/// on every platform and however the path was spelled.
+std::string NormalizeSlashes(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   std::string_view content,
+                                   const StatusFunctionSet& status_functions) {
+  const std::string norm = NormalizeSlashes(path);
+  LexResult lex = Lex(content);
+  FileContext ctx;
+  ctx.path = norm;
+  ctx.is_header = norm.size() >= 2 && norm.ends_with(".h");
+  ctx.lex = &lex;
+  ctx.status_functions = &status_functions;
+
+  std::vector<Diagnostic> raw = RunAllRules(ctx);
+  std::vector<Diagnostic> kept;
+  kept.reserve(raw.size());
+  for (Diagnostic& d : raw) {
+    auto it = lex.nolint.find(d.line);
+    if (it != lex.nolint.end() &&
+        (it->second.empty() || it->second.count(d.rule) > 0)) {
+      continue;
+    }
+    kept.push_back(std::move(d));
+  }
+  return kept;
+}
+
+Result<std::vector<std::string>> CollectFiles(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    fs::path root(p);
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(NormalizeSlashes(root.generic_string()));
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      return Status::NotFound("no such file or directory: " + p);
+    }
+    fs::recursive_directory_iterator it(
+        root, fs::directory_options::skip_permission_denied, ec);
+    if (ec) return Status::IOError("cannot walk " + p + ": " + ec.message());
+    for (auto end = fs::end(it); it != end; it.increment(ec)) {
+      if (ec) return Status::IOError("walk failed under " + p);
+      if (it->is_directory(ec) && IsSkippedDir(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file(ec) && IsSourceFile(it->path())) {
+        files.push_back(NormalizeSlashes(it->path().generic_string()));
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+Result<StatusFunctionSet> CollectStatusFunctions(
+    const std::vector<std::string>& files) {
+  StatusFunctionSet set;
+  for (const std::string& f : files) {
+    GELC_ASSIGN_OR_RETURN(std::string content, ReadFile(f));
+    LexResult lex = Lex(content);
+    CollectStatusFunctionsFromTokens(lex.tokens, &set);
+  }
+  return set;
+}
+
+Result<std::vector<Diagnostic>> LintFiles(
+    const std::vector<std::string>& files,
+    const StatusFunctionSet& status_functions) {
+  std::vector<Diagnostic> all;
+  for (const std::string& f : files) {
+    GELC_ASSIGN_OR_RETURN(std::string content, ReadFile(f));
+    std::vector<Diagnostic> diags = LintSource(f, content, status_functions);
+    all.insert(all.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  std::sort(all.begin(), all.end(), [](const Diagnostic& a,
+                                       const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return all;
+}
+
+std::string FormatText(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags) {
+    out << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
+        << "\n";
+  }
+  if (diags.empty()) {
+    out << "gelc_lint: clean\n";
+  } else {
+    out << "gelc_lint: " << diags.size() << " finding"
+        << (diags.size() == 1 ? "" : "s") << "\n";
+  }
+  return out.str();
+}
+
+std::string FormatJson(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "{\"findings\": [";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i > 0) out << ", ";
+    out << "{\"file\": \"" << JsonEscape(d.file) << "\", \"line\": " << d.line
+        << ", \"rule\": \"" << JsonEscape(d.rule) << "\", \"message\": \""
+        << JsonEscape(d.message) << "\"}";
+  }
+  out << "], \"count\": " << diags.size() << "}\n";
+  return out.str();
+}
+
+}  // namespace lint
+}  // namespace gelc

@@ -1,0 +1,54 @@
+// The gelc_lint driver: file discovery, the cross-file Status-function
+// index, NOLINT suppression, and report formatting. tools/gelc_lint.cc is
+// a thin CLI over this library so tests/lint_test.cc can exercise every
+// layer in-process.
+#ifndef GELC_LINT_LINTER_H_
+#define GELC_LINT_LINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "lint/rules.h"
+
+namespace gelc {
+namespace lint {
+
+/// Lints one in-memory source. `path` decides path-scoped rules
+/// (header-ness, src/gnn, base/parallel, base/rng exemptions);
+/// NOLINT-suppressed findings are dropped. Unknown rule names inside a
+/// NOLINT(...) list suppress nothing.
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   std::string_view content,
+                                   const StatusFunctionSet& status_functions);
+
+/// Recursively collects .h/.cc files under each path (a path may also be
+/// a single file). Hidden directories and anything named `build*` are
+/// skipped so `gelc_lint .` does not lint build trees. Results are
+/// lexicographically sorted for deterministic reports.
+Result<std::vector<std::string>> CollectFiles(
+    const std::vector<std::string>& paths);
+
+/// Pass 1 over the tree: harvest the names of Status/Result-returning
+/// functions from every file's declarations.
+Result<StatusFunctionSet> CollectStatusFunctions(
+    const std::vector<std::string>& files);
+
+/// Pass 2: lint every file against the harvested index. Diagnostics come
+/// back sorted by (file, line, rule).
+Result<std::vector<Diagnostic>> LintFiles(
+    const std::vector<std::string>& files,
+    const StatusFunctionSet& status_functions);
+
+/// "path:line: [rule] message" lines plus a one-line summary.
+std::string FormatText(const std::vector<Diagnostic>& diags);
+
+/// Machine-readable report:
+///   {"findings": [{"file": ..., "line": N, "rule": ..., "message": ...},
+///    ...], "count": N}
+std::string FormatJson(const std::vector<Diagnostic>& diags);
+
+}  // namespace lint
+}  // namespace gelc
+
+#endif  // GELC_LINT_LINTER_H_

@@ -1,0 +1,421 @@
+#include "lint/rules.h"
+
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace gelc {
+namespace lint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool PathEndsWith(const std::string& path, std::string_view suffix) {
+  if (path.size() < suffix.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  // Must match at a path-component boundary ("base/parallel.h" should not
+  // match "notbase/parallel.h" but should match the exact path too).
+  return path.size() == suffix.size() ||
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+bool PathHasComponent(const std::string& path, std::string_view component) {
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t slash = path.find('/', start);
+    size_t end = (slash == std::string::npos) ? path.size() : slash;
+    if (path.compare(start, end - start, component) == 0) return true;
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  return false;
+}
+
+void Report(const FileContext& ctx, int line, std::string rule,
+            std::string message, std::vector<Diagnostic>* out) {
+  out->push_back(
+      Diagnostic{ctx.path, line, std::move(rule), std::move(message)});
+}
+
+/// True when tokens[i] is `std` and tokens[i+1] is `::` and tokens[i+2]
+/// is one of `names`; sets *name to the matched identifier.
+bool MatchesStdQualified(const Tokens& t, size_t i,
+                         const std::unordered_set<std::string>& names,
+                         std::string* name) {
+  if (i + 2 >= t.size()) return false;
+  if (!(t[i].kind == TokenKind::kIdentifier && t[i].text == "std")) {
+    return false;
+  }
+  if (!t[i + 1].Is("::")) return false;
+  if (t[i + 2].kind != TokenKind::kIdentifier) return false;
+  if (names.count(t[i + 2].text) == 0) return false;
+  *name = t[i + 2].text;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// raw-thread: concurrency primitives belong behind base/parallel.
+// ---------------------------------------------------------------------------
+void RuleRawThread(const FileContext& ctx, std::vector<Diagnostic>* out) {
+  if (PathEndsWith(ctx.path, "base/parallel.h") ||
+      PathEndsWith(ctx.path, "base/parallel.cc")) {
+    return;
+  }
+  static const std::unordered_set<std::string> kBanned = {
+      "thread",        "jthread",
+      "async",         "mutex",
+      "recursive_mutex", "timed_mutex",
+      "shared_mutex",  "condition_variable",
+      "condition_variable_any",
+  };
+  const Tokens& t = ctx.lex->tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    std::string name;
+    if (MatchesStdQualified(t, i, kBanned, &name)) {
+      Report(ctx, t[i].line, "raw-thread",
+             "std::" + name +
+                 " outside base/parallel; route concurrency through the "
+                 "shared pool (ParallelFor/ParallelMap)",
+             out);
+      i += 2;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nondeterminism: all randomness flows through an explicitly seeded
+// gelc::Rng; wall-clock and unseeded engines break reproducibility.
+// ---------------------------------------------------------------------------
+void RuleNondeterminism(const FileContext& ctx, std::vector<Diagnostic>* out) {
+  if (PathEndsWith(ctx.path, "base/rng.h")) return;
+  const Tokens& t = ctx.lex->tokens;
+  auto next_is = [&t](size_t i, std::string_view s) {
+    return i + 1 < t.size() && t[i + 1].Is(s);
+  };
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& w = t[i].text;
+
+    // rand() / srand() — C library PRNG, global hidden state.
+    if ((w == "rand" || w == "srand") && next_is(i, "(")) {
+      // Skip member accesses like foo.rand( — only the C function.
+      if (i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"))) continue;
+      Report(ctx, t[i].line, "nondeterminism",
+             w + "() uses hidden global PRNG state; use a seeded gelc::Rng",
+             out);
+      continue;
+    }
+
+    // std::random_device — entropy source, never reproducible.
+    if (w == "random_device") {
+      Report(ctx, t[i].line, "nondeterminism",
+             "std::random_device is nondeterministic by design; seed a "
+             "gelc::Rng explicitly",
+             out);
+      continue;
+    }
+
+    // time(nullptr) / time(NULL) / time(0) — wall-clock seeding.
+    if (w == "time" && next_is(i, "(") && i + 3 < t.size() &&
+        (t[i + 2].Is("nullptr") || t[i + 2].Is("NULL") || t[i + 2].Is("0")) &&
+        t[i + 3].Is(")")) {
+      if (i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"))) continue;
+      Report(ctx, t[i].line, "nondeterminism",
+             "time(...) wall-clock value; experiments must reproduce "
+             "bit-for-bit — use a fixed seed",
+             out);
+      continue;
+    }
+
+    // Default-constructed std::mt19937 / mt19937_64: seeded with a fixed
+    // but implementation-defined constant, and invariably a smell that
+    // randomness is not flowing through gelc::Rng.
+    if (w == "mt19937" || w == "mt19937_64") {
+      size_t j = i + 1;
+      // Optional declarator name: std::mt19937 gen; / gen{}; / gen();
+      if (j < t.size() && t[j].kind == TokenKind::kIdentifier) ++j;
+      bool argless =
+          j < t.size() &&
+          (t[j].Is(";") ||
+           (t[j].Is("(") && j + 1 < t.size() && t[j + 1].Is(")")) ||
+           (t[j].Is("{") && j + 1 < t.size() && t[j + 1].Is("}")));
+      if (argless) {
+        Report(ctx, t[i].line, "nondeterminism",
+               "argless std::" + w +
+                   "; pass an explicit seed (or use gelc::Rng)",
+               out);
+      }
+      continue;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// banned-alloc: raw new/delete. Ownership goes through containers and
+// smart pointers; the rare legitimate site (private-constructor factory)
+// carries a NOLINT(banned-alloc) with justification.
+// ---------------------------------------------------------------------------
+void RuleBannedAlloc(const FileContext& ctx, std::vector<Diagnostic>* out) {
+  const Tokens& t = ctx.lex->tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& w = t[i].text;
+    if (w != "new" && w != "delete") continue;
+    // `= delete` / `= delete;` — deleted functions, not deallocation.
+    if (w == "delete" && i > 0 && t[i - 1].Is("=")) continue;
+    // `operator new` / `operator delete` declarations (class-level
+    // allocator customization is an intentional act).
+    if (i > 0 && t[i - 1].Is("operator")) continue;
+    // Placement new (`new (buf) T`) constructs into existing storage and
+    // is allowed; a parenthesis directly after `new` marks it.
+    if (w == "new" && i + 1 < t.size() && t[i + 1].Is("(")) continue;
+    Report(ctx, t[i].line, "banned-alloc",
+           "raw `" + w +
+               "`; use containers / std::make_unique, or justify with "
+               "NOLINT(banned-alloc)",
+           out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// include-hygiene: `using namespace` in a header leaks into every
+// includer.
+// ---------------------------------------------------------------------------
+void RuleIncludeHygiene(const FileContext& ctx, std::vector<Diagnostic>* out) {
+  if (!ctx.is_header) return;
+  const Tokens& t = ctx.lex->tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind == TokenKind::kIdentifier && t[i].text == "using" &&
+        t[i + 1].kind == TokenKind::kIdentifier &&
+        t[i + 1].text == "namespace") {
+      Report(ctx, t[i].line, "include-hygiene",
+             "`using namespace` in a header pollutes every includer",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dense-adjacency-in-hot-path: the GNN message-passing layer must stay on
+// the CSR operators (Graph::Csr()); materializing the dense n x n
+// adjacency there reintroduces the O(n^2 d) path PR 2 removed.
+// ---------------------------------------------------------------------------
+void RuleDenseAdjacency(const FileContext& ctx, std::vector<Diagnostic>* out) {
+  if (!PathHasComponent(ctx.path, "gnn")) return;
+  const Tokens& t = ctx.lex->tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    if ((t[i].text == "AdjacencyMatrix" ||
+         t[i].text == "MeanAdjacencyMatrix") &&
+        t[i + 1].Is("(")) {
+      Report(ctx, t[i].line, "dense-adjacency-in-hot-path",
+             t[i].text +
+                 "() under src/gnn builds an O(n^2) dense operator; use "
+                 "Graph::Csr() instead",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-status: a full-statement call to a Status/Result-returning
+// function whose value is discarded — either a bare `Foo(...);` statement
+// or a `(void)Foo(...)` cast. Compile-time [[nodiscard]] catches the
+// former; the linter additionally bans the (void) escape hatch (use
+// Status::IgnoreError() and say why).
+// ---------------------------------------------------------------------------
+
+/// Identifier-shaped keywords that can open a statement but never open a
+/// discarded-call chain.
+bool IsStatementKeyword(const std::string& w) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "return",   "if",       "while",   "for",      "switch", "case",
+      "default",  "goto",     "break",   "continue", "do",     "else",
+      "new",      "delete",   "throw",   "co_return", "co_await",
+      "co_yield", "using",    "typedef", "template", "class",  "struct",
+      "enum",     "namespace", "public", "private",  "protected",
+      "static_assert",
+  };
+  return kKeywords.count(w) > 0;
+}
+
+/// Skips a balanced (...) / [...] / {...} group starting at `i` (which
+/// must index the opener). Returns the index just past the closer, or
+/// t.size() if unbalanced.
+size_t SkipBalanced(const Tokens& t, size_t i) {
+  std::string_view open = t[i].text;
+  std::string_view close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i].Is(open)) {
+      ++depth;
+    } else if (t[i].Is(close)) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return t.size();
+}
+
+void RuleUncheckedStatus(const FileContext& ctx,
+                         std::vector<Diagnostic>* out) {
+  const Tokens& t = ctx.lex->tokens;
+  bool at_statement_start = true;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].Is(";") || t[i].Is("{") || t[i].Is("}")) {
+      at_statement_start = true;
+      continue;
+    }
+    if (!at_statement_start) continue;
+    at_statement_start = false;
+
+    size_t j = i;
+    bool void_cast = false;
+    // `(void) <chain>;` — an explicit discard cast.
+    if (t[j].Is("(") && j + 2 < t.size() && t[j + 1].Is("void") &&
+        t[j + 2].Is(")")) {
+      void_cast = true;
+      j += 3;
+    }
+    if (j >= t.size() || t[j].kind != TokenKind::kIdentifier ||
+        IsStatementKeyword(t[j].text)) {
+      continue;
+    }
+    // A macro-shaped leading identifier (BENCHMARK, TEST_F, GELC_*, all
+    // caps) opens registration/assertion machinery, not a discarded
+    // status — e.g. `BENCHMARK(f)->Apply(...);` is a builder chain.
+    {
+      const std::string& head = t[j].text;
+      bool macro_shaped = head.size() >= 2;
+      for (char ch : head) {
+        if (!(std::isupper(static_cast<unsigned char>(ch)) ||
+              std::isdigit(static_cast<unsigned char>(ch)) || ch == '_')) {
+          macro_shaped = false;
+          break;
+        }
+      }
+      if (macro_shaped) continue;
+    }
+
+    // Walk a postfix chain: ident (:: ident)* then any sequence of
+    // calls/subscripts/member accesses. Track the identifier that owns
+    // the most recent call.
+    std::string last_callee;
+    int last_callee_line = t[j].line;
+    std::string pending = t[j].text;
+    int pending_line = t[j].line;
+    ++j;
+    bool chain_ended_with_call = false;
+    while (j < t.size()) {
+      if (t[j].Is("::") || t[j].Is(".") || t[j].Is("->")) {
+        if (j + 1 >= t.size() || t[j + 1].kind != TokenKind::kIdentifier) {
+          break;
+        }
+        pending = t[j + 1].text;
+        pending_line = t[j + 1].line;
+        chain_ended_with_call = false;
+        j += 2;
+        continue;
+      }
+      if (t[j].Is("(")) {
+        last_callee = pending;
+        last_callee_line = pending_line;
+        j = SkipBalanced(t, j);
+        chain_ended_with_call = true;
+        continue;
+      }
+      if (t[j].Is("[")) {
+        j = SkipBalanced(t, j);
+        chain_ended_with_call = false;
+        continue;
+      }
+      break;
+    }
+
+    if (j < t.size() && t[j].Is(";") && chain_ended_with_call &&
+        !last_callee.empty() &&
+        ctx.status_functions->count(last_callee) > 0) {
+      Report(ctx, last_callee_line, "unchecked-status",
+             (void_cast
+                  ? "(void)-cast of Status/Result from " + last_callee +
+                        "(); handle it or call .IgnoreError() with a reason"
+                  : "result of " + last_callee +
+                        "() (Status/Result) is discarded; check it, "
+                        "propagate it, or call .IgnoreError()"),
+             out);
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllRuleNames() {
+  static const std::vector<std::string> kNames = {
+      "unchecked-status",  "dense-adjacency-in-hot-path",
+      "raw-thread",        "nondeterminism",
+      "banned-alloc",      "include-hygiene",
+  };
+  return kNames;
+}
+
+std::vector<Diagnostic> RunAllRules(const FileContext& ctx) {
+  std::vector<Diagnostic> out;
+  RuleUncheckedStatus(ctx, &out);
+  RuleDenseAdjacency(ctx, &out);
+  RuleRawThread(ctx, &out);
+  RuleNondeterminism(ctx, &out);
+  RuleBannedAlloc(ctx, &out);
+  RuleIncludeHygiene(ctx, &out);
+  return out;
+}
+
+void CollectStatusFunctionsFromTokens(const std::vector<Token>& tokens,
+                                      StatusFunctionSet* out) {
+  const Tokens& t = tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    size_t j;
+    if (t[i].text == "Status") {
+      j = i + 1;
+    } else if (t[i].text == "Result" && i + 1 < t.size() && t[i + 1].Is("<")) {
+      // Skip the template argument list (tracking <> depth; good enough
+      // for the nesting that appears in return types).
+      int depth = 0;
+      j = i + 1;
+      for (; j < t.size(); ++j) {
+        if (t[j].Is("<")) ++depth;
+        if (t[j].Is(">")) {
+          if (--depth == 0) {
+            ++j;
+            break;
+          }
+        }
+        if (t[j].Is(">>")) {
+          depth -= 2;
+          if (depth <= 0) {
+            ++j;
+            break;
+          }
+        }
+        if (t[j].Is(";") || t[j].Is("{")) break;  // not a return type
+      }
+    } else {
+      continue;
+    }
+    // Possibly-qualified declarator: Name or Class::Name — record the
+    // final identifier if a '(' follows (a function declarator).
+    if (j >= t.size() || t[j].kind != TokenKind::kIdentifier) continue;
+    std::string name = t[j].text;
+    ++j;
+    while (j + 1 < t.size() && t[j].Is("::") &&
+           t[j + 1].kind == TokenKind::kIdentifier) {
+      name = t[j + 1].text;
+      j += 2;
+    }
+    if (j < t.size() && t[j].Is("(")) out->insert(name);
+  }
+}
+
+}  // namespace lint
+}  // namespace gelc

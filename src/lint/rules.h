@@ -1,0 +1,59 @@
+// The rule catalogue of gelc_lint: each rule enforces one project
+// invariant that PR-level review cannot reliably police by hand. The
+// catalogue and suppression policy are documented in DESIGN.md
+// ("Correctness tooling").
+#ifndef GELC_LINT_RULES_H_
+#define GELC_LINT_RULES_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace gelc {
+namespace lint {
+
+/// One finding: `rule` names the violated invariant, `line` is 1-based.
+struct Diagnostic {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Diagnostic& other) const {
+    return file == other.file && line == other.line && rule == other.rule &&
+           message == other.message;
+  }
+};
+
+/// Names of functions whose return value is a Status or Result<T>,
+/// harvested from declarations across the linted tree (see
+/// CollectStatusFunctions in lint/linter.h). The unchecked-status rule
+/// flags full-statement calls to these names.
+using StatusFunctionSet = std::unordered_set<std::string>;
+
+/// Everything a rule needs to know about the file under analysis.
+struct FileContext {
+  std::string path;    // as given on the command line, '/'-separated
+  bool is_header;      // path ends in .h
+  const LexResult* lex;
+  const StatusFunctionSet* status_functions;
+};
+
+/// Names of all rules, in reporting order.
+const std::vector<std::string>& AllRuleNames();
+
+/// Runs every rule over the file. NOLINT suppression is NOT applied here
+/// (the linter driver applies it) so tests can observe raw rule output.
+std::vector<Diagnostic> RunAllRules(const FileContext& ctx);
+
+/// Scans one file's tokens for declarations returning Status or
+/// Result<T> and adds the declared names to `out`.
+void CollectStatusFunctionsFromTokens(const std::vector<Token>& tokens,
+                                      StatusFunctionSet* out);
+
+}  // namespace lint
+}  // namespace gelc
+
+#endif  // GELC_LINT_RULES_H_

@@ -7,26 +7,31 @@
 namespace gelc {
 
 GmlPtr GmlFormula::True() {
+  // NOLINTNEXTLINE(banned-alloc): private ctor, goes into GmlPtr
   return GmlPtr(new GmlFormula(Kind::kTrue, 0, 0, nullptr, nullptr));
 }
 
 GmlPtr GmlFormula::Label(size_t j) {
+  // NOLINTNEXTLINE(banned-alloc): private ctor, goes into GmlPtr
   return GmlPtr(new GmlFormula(Kind::kLabel, j, 0, nullptr, nullptr));
 }
 
 GmlPtr GmlFormula::Not(GmlPtr f) {
   GELC_CHECK(f != nullptr);
+  // NOLINTNEXTLINE(banned-alloc): private ctor, goes into GmlPtr
   return GmlPtr(new GmlFormula(Kind::kNot, 0, 0, std::move(f), nullptr));
 }
 
 GmlPtr GmlFormula::And(GmlPtr a, GmlPtr b) {
   GELC_CHECK(a != nullptr && b != nullptr);
   return GmlPtr(
+      // NOLINTNEXTLINE(banned-alloc): private ctor, goes into GmlPtr
       new GmlFormula(Kind::kAnd, 0, 0, std::move(a), std::move(b)));
 }
 
 GmlPtr GmlFormula::Or(GmlPtr a, GmlPtr b) {
   GELC_CHECK(a != nullptr && b != nullptr);
+  // NOLINTNEXTLINE(banned-alloc): private ctor, goes into GmlPtr
   return GmlPtr(new GmlFormula(Kind::kOr, 0, 0, std::move(a), std::move(b)));
 }
 
@@ -34,6 +39,7 @@ GmlPtr GmlFormula::AtLeast(size_t n, GmlPtr f) {
   GELC_CHECK(n >= 1);
   GELC_CHECK(f != nullptr);
   return GmlPtr(
+      // NOLINTNEXTLINE(banned-alloc): private ctor, goes into GmlPtr
       new GmlFormula(Kind::kAtLeast, 0, n, std::move(f), nullptr));
 }
 

@@ -49,11 +49,13 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   double& At(size_t r, size_t c) {
-    GELC_DCHECK(r < rows_ && c < cols_);
+    GELC_DCHECK_LT(r, rows_);
+    GELC_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
   double At(size_t r, size_t c) const {
-    GELC_DCHECK(r < rows_ && c < cols_);
+    GELC_DCHECK_LT(r, rows_);
+    GELC_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
   double& operator()(size_t r, size_t c) { return At(r, c); }

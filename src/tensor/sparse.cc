@@ -39,7 +39,9 @@ CsrMatrix CsrMatrix::FromDense(const Matrix& m) {
 Matrix CsrMatrix::ToDense() const {
   Matrix out(rows, cols);
   for (size_t i = 0; i < rows; ++i) {
+    GELC_DCHECK_LE(row_offsets[i], row_offsets[i + 1]);
     for (size_t k = row_offsets[i]; k < row_offsets[i + 1]; ++k) {
+      GELC_DCHECK_LT(col_indices[k], cols);
       out.At(i, col_indices[k]) = weighted() ? values[k] : 1.0;
     }
   }
@@ -54,7 +56,10 @@ CsrMatrix CsrMatrix::Transposed() const {
   // one pass to scatter. Scanning rows in ascending order places each
   // transposed row's indices in ascending order automatically.
   std::vector<size_t> counts(cols, 0);
-  for (uint32_t c : col_indices) ++counts[c];
+  for (uint32_t c : col_indices) {
+    GELC_DCHECK_LT(c, cols);
+    ++counts[c];
+  }
   out.row_offsets.assign(cols + 1, 0);
   for (size_t i = 0; i < cols; ++i)
     out.row_offsets[i + 1] = out.row_offsets[i] + counts[i];
@@ -86,7 +91,9 @@ void SpMMInto(const CsrMatrix& a, const Matrix& b, Matrix* out) {
   auto row_range = [&a, bdata, odata, d](size_t row_begin, size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
       double* orow = odata + i * d;
+      GELC_DCHECK_LE(a.row_offsets[i], a.row_offsets[i + 1]);
       for (size_t k = a.row_offsets[i]; k < a.row_offsets[i + 1]; ++k) {
+        GELC_DCHECK_LT(a.col_indices[k], a.cols);
         const double* brow = bdata + size_t{a.col_indices[k]} * d;
         if (a.weighted()) {
           const double w = a.values[k];

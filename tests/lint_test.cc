@@ -1,0 +1,336 @@
+// Tests for src/lint: the lexer, each rule of the catalogue firing on a
+// crafted snippet, NOLINT suppression, the Status-function harvest, and
+// the JSON report shape. Violation snippets live in string literals, so
+// gelc_lint's self-run over tests/ does not trip on its own fixtures.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lexer.h"
+#include "lint/linter.h"
+#include "lint/rules.h"
+
+namespace gelc {
+namespace lint {
+namespace {
+
+// --- Lexer ----------------------------------------------------------------
+
+std::vector<std::string> TokenTexts(const LexResult& lex) {
+  std::vector<std::string> out;
+  out.reserve(lex.tokens.size());
+  for (const Token& t : lex.tokens) out.push_back(t.text);
+  return out;
+}
+
+TEST(LexerTest, IdentifiersNumbersPunct) {
+  LexResult lex = Lex("int x = a1 + 0x1f; y->z::w;");
+  EXPECT_EQ(TokenTexts(lex),
+            (std::vector<std::string>{"int", "x", "=", "a1", "+", "0x1f", ";",
+                                      "y", "->", "z", "::", "w", ";"}));
+}
+
+TEST(LexerTest, LineAndBlockCommentsProduceNoTokens) {
+  LexResult lex = Lex("a // rest of line new delete\nb /* new\ndelete */ c");
+  EXPECT_EQ(TokenTexts(lex), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(lex.tokens[1].line, 2);
+  EXPECT_EQ(lex.tokens[2].line, 3);  // block comment advanced the line count
+}
+
+TEST(LexerTest, StringAndCharLiteralsAreOpaque) {
+  // Banned tokens inside literals must not leak into the token stream.
+  LexResult lex = Lex("f(\"new delete \\\" std::mutex\", 'x', '\\'');");
+  ASSERT_EQ(lex.tokens.size(), 9u);
+  EXPECT_EQ(lex.tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(lex.tokens[2].text, "\"new delete \\\" std::mutex\"");
+  EXPECT_EQ(lex.tokens[4].kind, TokenKind::kChar);
+  EXPECT_EQ(lex.tokens[6].text, "'\\''");
+}
+
+TEST(LexerTest, RawStringsWithDelimiters) {
+  LexResult lex = Lex("auto s = R\"x(rand( \")\" std::thread)x\"; k");
+  ASSERT_GE(lex.tokens.size(), 5u);
+  EXPECT_EQ(lex.tokens[3].kind, TokenKind::kString);
+  EXPECT_EQ(lex.tokens[3].text, "R\"x(rand( \")\" std::thread)x\"");
+  EXPECT_EQ(lex.tokens[5].text, "k");
+}
+
+TEST(LexerTest, PreprocessorLinesAreSkippedIncludingContinuations) {
+  LexResult lex = Lex(
+      "#include <thread>\n"
+      "#define BAD(x) new x \\\n"
+      "    delete x\n"
+      "real;");
+  EXPECT_EQ(TokenTexts(lex), (std::vector<std::string>{"real", ";"}));
+  EXPECT_EQ(lex.tokens[0].line, 4);
+}
+
+TEST(LexerTest, NolintBareAndWithRules) {
+  LexResult lex = Lex(
+      "a; // NOLINT\n"
+      "b; // NOLINT(raw-thread, banned-alloc)\n"
+      "c; /* NOLINT(nondeterminism) */\n"
+      "d;\n");
+  ASSERT_TRUE(lex.nolint.count(1));
+  EXPECT_TRUE(lex.nolint.at(1).empty());  // bare: suppress everything
+  ASSERT_TRUE(lex.nolint.count(2));
+  EXPECT_EQ(lex.nolint.at(2).size(), 2u);
+  EXPECT_TRUE(lex.nolint.at(2).count("raw-thread"));
+  EXPECT_TRUE(lex.nolint.at(2).count("banned-alloc"));
+  ASSERT_TRUE(lex.nolint.count(3));
+  EXPECT_TRUE(lex.nolint.at(3).count("nondeterminism"));
+  EXPECT_FALSE(lex.nolint.count(4));
+}
+
+TEST(LexerTest, NolintNextLine) {
+  LexResult lex = Lex(
+      "// NOLINTNEXTLINE(banned-alloc)\n"
+      "int* p = new int;\n");
+  EXPECT_FALSE(lex.nolint.count(1));
+  ASSERT_TRUE(lex.nolint.count(2));
+  EXPECT_TRUE(lex.nolint.at(2).count("banned-alloc"));
+}
+
+// --- Rule firing ----------------------------------------------------------
+
+std::vector<Diagnostic> RunOn(const std::string& path,
+                              const std::string& source,
+                              StatusFunctionSet status_fns = {}) {
+  return LintSource(path, source, status_fns);
+}
+
+std::vector<std::string> RulesOf(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : diags) out.push_back(d.rule);
+  return out;
+}
+
+TEST(RulesTest, RawThreadFiresOutsideParallel) {
+  auto diags = RunOn("src/wl/kwl.cc", "std::thread t(f); std::mutex mu;");
+  EXPECT_EQ(RulesOf(diags),
+            (std::vector<std::string>{"raw-thread", "raw-thread"}));
+}
+
+TEST(RulesTest, RawThreadExemptInBaseParallel) {
+  EXPECT_TRUE(RunOn("src/base/parallel.cc", "std::thread t(f);").empty());
+  EXPECT_TRUE(RunOn("src/base/parallel.h", "std::mutex mu;").empty());
+  // ...but a file merely *named* parallel elsewhere is not exempt.
+  EXPECT_FALSE(RunOn("src/gnn/parallel.cc", "std::thread t(f);").empty());
+}
+
+TEST(RulesTest, NondeterminismRandSrandTimeRandomDevice) {
+  auto diags = RunOn("src/a.cc",
+                     "int a = rand(); srand(7); std::random_device rd; "
+                     "auto t0 = time(nullptr); auto t1 = time(NULL);");
+  EXPECT_EQ(diags.size(), 5u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "nondeterminism");
+}
+
+TEST(RulesTest, NondeterminismArglessMt19937) {
+  EXPECT_EQ(RunOn("src/a.cc", "std::mt19937 gen;").size(), 1u);
+  EXPECT_EQ(RunOn("src/a.cc", "std::mt19937 gen{};").size(), 1u);
+  EXPECT_EQ(RunOn("src/a.cc", "auto g = std::mt19937();").size(), 1u);
+  EXPECT_EQ(RunOn("src/a.cc", "std::mt19937_64 gen;").size(), 1u);
+  // Explicitly seeded engines are fine.
+  EXPECT_TRUE(RunOn("src/a.cc", "std::mt19937 gen(seed);").empty());
+  EXPECT_TRUE(RunOn("src/a.cc", "std::mt19937 gen{42};").empty());
+}
+
+TEST(RulesTest, NondeterminismExemptInRngHeader) {
+  EXPECT_TRUE(RunOn("src/base/rng.h", "std::random_device rd;").empty());
+}
+
+TEST(RulesTest, NondeterminismNotFooledByMembersNamedRand) {
+  EXPECT_TRUE(RunOn("src/a.cc", "double x = dist.rand();").empty());
+  EXPECT_TRUE(RunOn("src/a.cc", "obj->time(nullptr);").empty());
+}
+
+TEST(RulesTest, BannedAllocNewDelete) {
+  auto diags = RunOn("src/a.cc", "int* p = new int[3]; delete[] p;");
+  EXPECT_EQ(RulesOf(diags),
+            (std::vector<std::string>{"banned-alloc", "banned-alloc"}));
+}
+
+TEST(RulesTest, BannedAllocAllowsDeletedFunctionsAndPlacement) {
+  EXPECT_TRUE(RunOn("src/a.h", "Foo(const Foo&) = delete;").empty());
+  EXPECT_TRUE(RunOn("src/a.cc", "new (buf) Foo(1);").empty());
+  EXPECT_TRUE(
+      RunOn("src/a.h", "void* operator new(std::size_t);").empty());
+}
+
+TEST(RulesTest, IncludeHygieneOnlyInHeaders) {
+  EXPECT_EQ(RunOn("src/a.h", "using namespace std;").size(), 1u);
+  EXPECT_EQ(RunOn("src/a.h", "using namespace std;")[0].rule,
+            "include-hygiene");
+  EXPECT_TRUE(RunOn("src/a.cc", "using namespace std;").empty());
+  // `using std::swap;` is fine even in headers.
+  EXPECT_TRUE(RunOn("src/a.h", "using std::swap;").empty());
+}
+
+TEST(RulesTest, DenseAdjacencyOnlyUnderGnn) {
+  const std::string src = "Matrix a = g.AdjacencyMatrix();";
+  ASSERT_EQ(RunOn("src/gnn/mpnn.cc", src).size(), 1u);
+  EXPECT_EQ(RunOn("src/gnn/mpnn.cc", src)[0].rule,
+            "dense-adjacency-in-hot-path");
+  EXPECT_EQ(RunOn("src/gnn/gat.h",
+                  "Matrix m = g.MeanAdjacencyMatrix();").size(),
+            1u);
+  // The same call outside src/gnn is the sanctioned dense path.
+  EXPECT_TRUE(RunOn("src/hom/hom_count.cc", src).empty());
+}
+
+TEST(RulesTest, UncheckedStatusBareCallStatement) {
+  StatusFunctionSet fns = {"AddEdge"};
+  auto diags = RunOn("src/a.cc", "void f(Graph& g) { g.AddEdge(0, 1); }",
+                     fns);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unchecked-status");
+}
+
+TEST(RulesTest, UncheckedStatusVoidCast) {
+  StatusFunctionSet fns = {"AddEdge"};
+  auto diags =
+      RunOn("src/a.cc", "void f(Graph& g) { (void)g.AddEdge(0, 1); }", fns);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unchecked-status");
+}
+
+TEST(RulesTest, UncheckedStatusNotFiredWhenHandled) {
+  StatusFunctionSet fns = {"AddEdge", "RelationGraph"};
+  const char* ok_sources[] = {
+      "Status s = g.AddEdge(0, 1);",
+      "if (!g.AddEdge(0, 1).ok()) return;",
+      "return g.AddEdge(0, 1);",
+      "GELC_RETURN_NOT_OK(g.AddEdge(0, 1));",
+      "EXPECT_TRUE(g.AddEdge(0, 1).ok());",
+      "g.AddEdge(0, 1).IgnoreError();",
+      "GELC_CHECK_OK(g.AddEdge(0, 1));",
+      "auto r = a.RelationGraph(0);",
+  };
+  for (const char* src : ok_sources) {
+    EXPECT_TRUE(RunOn("src/a.cc", src, fns).empty()) << src;
+  }
+}
+
+TEST(RulesTest, UncheckedStatusSkipsMacroHeadedBuilderChains) {
+  // Expr::Apply returns Result<ExprPtr>, but google-benchmark's
+  // `BENCHMARK(f)->Apply(config);` is a registration builder, not a
+  // discard. Macro-shaped statement heads are exempt.
+  StatusFunctionSet fns = {"Apply"};
+  EXPECT_TRUE(
+      RunOn("bench/b.cc", "BENCHMARK(BM_X)->Apply(cfg);", fns).empty());
+  // The same chain off a normal identifier still fires.
+  EXPECT_EQ(RunOn("src/a.cc", "maker(x)->Apply(cfg);", fns).size(), 1u);
+}
+
+TEST(RulesTest, UncheckedStatusInsideLambdaBody) {
+  StatusFunctionSet fns = {"AddEdge"};
+  auto diags = RunOn("src/a.cc",
+                     "auto fn = [&] { g.AddEdge(0, 1); return 3; };", fns);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unchecked-status");
+}
+
+// --- Status-function harvesting -------------------------------------------
+
+TEST(HarvestTest, CollectsStatusAndResultDeclarations) {
+  LexResult lex = Lex(
+      "Status AddEdge(VertexId u, VertexId v);\n"
+      "Result<Graph> Permuted(const std::vector<size_t>& perm) const;\n"
+      "Status RelationalGraph::AddRelEdge(size_t r) { return Status::OK(); }\n"
+      "Result<std::vector<int>> Nested();\n"
+      "bool ok() const;\n"
+      "Status status() const;\n");
+  StatusFunctionSet set;
+  CollectStatusFunctionsFromTokens(lex.tokens, &set);
+  EXPECT_TRUE(set.count("AddEdge"));
+  EXPECT_TRUE(set.count("Permuted"));
+  EXPECT_TRUE(set.count("AddRelEdge"));
+  EXPECT_TRUE(set.count("Nested"));
+  EXPECT_TRUE(set.count("status"));
+  EXPECT_FALSE(set.count("ok"));
+}
+
+// --- NOLINT suppression ---------------------------------------------------
+
+TEST(SuppressionTest, BareNolintSuppressesEverythingOnTheLine) {
+  auto diags =
+      RunOn("src/a.cc", "int* p = new int; // NOLINT\nint* q = new int;");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(SuppressionTest, RuleListSuppressesOnlyNamedRules) {
+  // Line violates both banned-alloc and raw-thread; only one is waived.
+  auto diags = RunOn(
+      "src/a.cc",
+      "auto* t = new std::thread(f); // NOLINT(banned-alloc)\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "raw-thread");
+  // Naming both waives both.
+  EXPECT_TRUE(
+      RunOn("src/a.cc",
+            "auto* t = new std::thread(f); // NOLINT(banned-alloc, "
+            "raw-thread)\n")
+          .empty());
+}
+
+TEST(SuppressionTest, NolintNextLineSuppressesFollowingLine) {
+  EXPECT_TRUE(RunOn("src/a.cc",
+                    "// NOLINTNEXTLINE(banned-alloc): private ctor\n"
+                    "int* p = new int;\n")
+                  .empty());
+}
+
+TEST(SuppressionTest, UnknownRuleNameSuppressesNothing) {
+  auto diags = RunOn("src/a.cc", "int* p = new int; // NOLINT(other-rule)");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "banned-alloc");
+}
+
+// --- Reports --------------------------------------------------------------
+
+TEST(ReportTest, TextFormat) {
+  auto diags = RunOn("src/a.cc", "int* p = new int;");
+  std::string text = FormatText(diags);
+  EXPECT_NE(text.find("src/a.cc:1: [banned-alloc]"), std::string::npos);
+  EXPECT_NE(text.find("1 finding\n"), std::string::npos);
+  EXPECT_EQ(FormatText({}), "gelc_lint: clean\n");
+}
+
+TEST(ReportTest, JsonShape) {
+  auto diags = RunOn("src/a.cc", "int* p = new int;\nint* q = new int;");
+  ASSERT_EQ(diags.size(), 2u);
+  std::string json = FormatJson(diags);
+  EXPECT_EQ(json.find("{\"findings\": ["), 0u);
+  EXPECT_NE(json.find("\"file\": \"src/a.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"banned-alloc\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2}"), std::string::npos);
+}
+
+TEST(ReportTest, JsonEscapesSpecialCharacters) {
+  std::vector<Diagnostic> diags = {
+      {"src/we\"ird.cc", 3, "banned-alloc", "line1\nline2\ttab"}};
+  std::string json = FormatJson(diags);
+  EXPECT_NE(json.find("we\\\"ird"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
+}
+
+TEST(ReportTest, AllRuleNamesListedOnce) {
+  const auto& names = AllRuleNames();
+  EXPECT_EQ(names.size(), 6u);
+  for (const char* expected :
+       {"unchecked-status", "dense-adjacency-in-hot-path", "raw-thread",
+        "nondeterminism", "banned-alloc", "include-hygiene"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace gelc

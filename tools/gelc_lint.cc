@@ -1,0 +1,72 @@
+// gelc_lint: the project-invariant static checker (see DESIGN.md,
+// "Correctness tooling", for the rule catalogue and suppression policy).
+//
+// Usage:
+//   gelc_lint [--format=text|json] [--list-rules] <path>...
+//
+// Each <path> is a file or a directory (recursed for *.h / *.cc; build
+// trees and dot-directories are skipped). Exit status: 0 when clean, 1
+// when findings were reported, 2 on usage or I/O errors. The repo gate is
+// registered as the `gelc_lint` ctest: `gelc_lint src tests bench examples`.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gelc_lint [--format=text|json] [--list-rules] "
+               "<path>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& r : gelc::lint::AllRuleNames()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return Usage();
+      continue;
+    }
+    if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      return Usage();
+    }
+    paths.push_back(std::move(arg));
+  }
+  if (paths.empty()) return Usage();
+
+  auto files = gelc::lint::CollectFiles(paths);
+  if (!files.ok()) {
+    std::fprintf(stderr, "gelc_lint: %s\n", files.status().ToString().c_str());
+    return 2;
+  }
+  auto index = gelc::lint::CollectStatusFunctions(*files);
+  if (!index.ok()) {
+    std::fprintf(stderr, "gelc_lint: %s\n", index.status().ToString().c_str());
+    return 2;
+  }
+  auto diags = gelc::lint::LintFiles(*files, *index);
+  if (!diags.ok()) {
+    std::fprintf(stderr, "gelc_lint: %s\n", diags.status().ToString().c_str());
+    return 2;
+  }
+
+  const std::string report = format == "json"
+                                 ? gelc::lint::FormatJson(*diags)
+                                 : gelc::lint::FormatText(*diags);
+  std::fputs(report.c_str(), stdout);
+  return diags->empty() ? 0 : 1;
+}
