@@ -7,11 +7,13 @@
 // parallel_test.cc assert it; these benches only time it.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "base/parallel.h"
 #include "base/rng.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
 #include "tensor/matrix.h"
 #include "wl/color_refinement.h"
 #include "wl/kernel.h"
@@ -26,6 +28,32 @@ void ThreadSweep(benchmark::internal::Benchmark* b,
     for (int64_t threads : {1, 2, 4, 8}) b->Args({size, threads});
 }
 
+// Deltas of the pool's deterministic scheduling counters over the timed
+// loop, attached to the bench output so the JSON records how often each
+// path fanned out and how many tasks hit the pool queue. All zero when
+// the run has GELC_METRICS=0 (run_benches.sh passes GELC_METRICS=1).
+class PoolCounters {
+ public:
+  PoolCounters()
+      : calls_(obs::ReadCounter("parallel.calls")),
+        serial_(obs::ReadCounter("parallel.serial_calls")),
+        scheduled_(obs::ReadCounter("parallel.tasks_scheduled")) {}
+
+  void Attach(benchmark::State& state) const {
+    state.counters["pool_calls"] =
+        static_cast<double>(obs::ReadCounter("parallel.calls") - calls_);
+    state.counters["pool_serial_calls"] = static_cast<double>(
+        obs::ReadCounter("parallel.serial_calls") - serial_);
+    state.counters["pool_tasks_scheduled"] = static_cast<double>(
+        obs::ReadCounter("parallel.tasks_scheduled") - scheduled_);
+  }
+
+ private:
+  uint64_t calls_;
+  uint64_t serial_;
+  uint64_t scheduled_;
+};
+
 void BM_MatMulParallel(benchmark::State& state) {
   SetParallelThreadCount(static_cast<size_t>(state.range(1)));
   size_t n = static_cast<size_t>(state.range(0));
@@ -33,10 +61,12 @@ void BM_MatMulParallel(benchmark::State& state) {
   Matrix a = Matrix::RandomUniform(n, n, -1.0, 1.0, &rng);
   Matrix b = Matrix::RandomUniform(n, n, -1.0, 1.0, &rng);
   Matrix out;
+  PoolCounters pool;
   for (auto _ : state) {
     a.MatMulInto(b, &out);
     benchmark::DoNotOptimize(out.data());
   }
+  pool.Attach(state);
   state.SetItemsProcessed(state.iterations() * n * n * n);
   SetParallelThreadCount(0);
 }
@@ -48,10 +78,12 @@ void BM_ColorRefinementParallel(benchmark::State& state) {
   SetParallelThreadCount(static_cast<size_t>(state.range(1)));
   Rng rng(7);
   Graph g = RandomGnp(state.range(0), 0.1, &rng);
+  PoolCounters pool;
   for (auto _ : state) {
     CrColoring c = RunColorRefinement({&g});
     benchmark::DoNotOptimize(c.stable);
   }
+  pool.Attach(state);
   SetParallelThreadCount(0);
 }
 BENCHMARK(BM_ColorRefinementParallel)
@@ -64,10 +96,12 @@ void BM_KwlRecoloringParallel(benchmark::State& state) {
   Rng rng(7);
   Graph a = RandomGnp(state.range(0), 0.3, &rng);
   Graph b = RandomGnp(state.range(0), 0.3, &rng);
+  PoolCounters pool;
   for (auto _ : state) {
     auto c = RunKwl({&a, &b}, 2);
     benchmark::DoNotOptimize(c);
   }
+  pool.Attach(state);
   SetParallelThreadCount(0);
 }
 BENCHMARK(BM_KwlRecoloringParallel)
@@ -83,10 +117,12 @@ void BM_WlKernelParallel(benchmark::State& state) {
     graphs.push_back(RandomGnp(24, 0.2, &rng));
   std::vector<const Graph*> ptrs;
   for (const Graph& g : graphs) ptrs.push_back(&g);
+  PoolCounters pool;
   for (auto _ : state) {
     auto k = WlSubtreeKernelMatrix(ptrs, 3);
     benchmark::DoNotOptimize(k);
   }
+  pool.Attach(state);
   SetParallelThreadCount(0);
 }
 BENCHMARK(BM_WlKernelParallel)

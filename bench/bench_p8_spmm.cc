@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/parallel.h"
@@ -17,6 +18,7 @@
 #include "graph/csr.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "tensor/matrix.h"
 #include "tensor/sparse.h"
 
@@ -24,6 +26,36 @@ namespace gelc {
 namespace {
 
 constexpr size_t kFeatureDim = 32;
+
+// Deltas of the serial/parallel dispatch decisions (`prefix`.* registry
+// counters, prefix "spmm" or "matmul") and of the pool's scheduled-task
+// count over the timed loop, attached to the bench JSON. All zero when
+// the run has GELC_METRICS=0 (run_benches.sh passes GELC_METRICS=1).
+class DispatchCounters {
+ public:
+  explicit DispatchCounters(const char* prefix)
+      : serial_name_(std::string(prefix) + ".serial_dispatch"),
+        parallel_name_(std::string(prefix) + ".parallel_dispatch"),
+        serial_(obs::ReadCounter(serial_name_)),
+        parallel_(obs::ReadCounter(parallel_name_)),
+        scheduled_(obs::ReadCounter("parallel.tasks_scheduled")) {}
+
+  void Attach(benchmark::State& state) const {
+    state.counters["serial_dispatch"] =
+        static_cast<double>(obs::ReadCounter(serial_name_) - serial_);
+    state.counters["parallel_dispatch"] =
+        static_cast<double>(obs::ReadCounter(parallel_name_) - parallel_);
+    state.counters["pool_tasks_scheduled"] = static_cast<double>(
+        obs::ReadCounter("parallel.tasks_scheduled") - scheduled_);
+  }
+
+ private:
+  std::string serial_name_;
+  std::string parallel_name_;
+  uint64_t serial_;
+  uint64_t parallel_;
+  uint64_t scheduled_;
+};
 
 void SpmmSweep(benchmark::internal::Benchmark* b) {
   for (int64_t n : {256, 1024, 4096})
@@ -55,10 +87,12 @@ void RunSpMM(benchmark::State& state, const Graph& g) {
   Matrix f = Matrix::RandomUniform(g.num_vertices(), kFeatureDim, -1.0, 1.0,
                                    &rng);
   Matrix out;
+  DispatchCounters dispatch("spmm");
   for (auto _ : state) {
     SpMMInto(a, f, &out);
     benchmark::DoNotOptimize(out.data());
   }
+  dispatch.Attach(state);
   // One madd per stored arc per feature column.
   state.SetItemsProcessed(state.iterations() * a.nnz() * kFeatureDim);
   state.counters["nnz"] = static_cast<double>(a.nnz());
@@ -72,10 +106,12 @@ void RunDense(benchmark::State& state, const Graph& g) {
   Matrix f = Matrix::RandomUniform(g.num_vertices(), kFeatureDim, -1.0, 1.0,
                                    &rng);
   Matrix out;
+  DispatchCounters dispatch("matmul");
   for (auto _ : state) {
     a.MatMulInto(f, &out);
     benchmark::DoNotOptimize(out.data());
   }
+  dispatch.Attach(state);
   state.SetItemsProcessed(state.iterations() * g.num_vertices() *
                           g.num_vertices() * kFeatureDim);
   SetParallelThreadCount(0);
@@ -106,10 +142,12 @@ void BM_SpMM_GcnNormalized(benchmark::State& state) {
   Matrix f = Matrix::RandomUniform(g.num_vertices(), kFeatureDim, -1.0, 1.0,
                                    &rng);
   Matrix out;
+  DispatchCounters dispatch("spmm");
   for (auto _ : state) {
     SpMMInto(a, f, &out);
     benchmark::DoNotOptimize(out.data());
   }
+  dispatch.Attach(state);
   state.SetItemsProcessed(state.iterations() * a.nnz() * kFeatureDim);
   SetParallelThreadCount(0);
 }

@@ -8,9 +8,14 @@
 #                            thread-variant (GELC_NUM_THREADS=1/4) tests
 #   4. sanitizer ctest     — ASAN+UBSAN build, full suite again
 #
+#   5. TSAN obs ctest      — TSAN build, obs tests only: the metrics
+#                            shards and trace ring buffers are written
+#                            from pool workers, so their merge-on-read
+#                            paths get a dedicated race check
+#
 # Usage: scripts/check.sh [--fast]
-#   --fast  skip step 4 (the sanitizer rebuild) for quick iteration;
-#           the full run is still required before the PR.
+#   --fast  skip steps 4 and 5 (the sanitizer rebuilds) for quick
+#           iteration; the full run is still required before the PR.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,25 +23,31 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
-echo "== [1/4] build (with -Werror) =="
+echo "== [1/5] build (with -Werror) =="
 cmake -B build -S . -DGELC_WERROR=ON >/dev/null
 cmake --build build -j >/dev/null
 
-echo "== [2/4] gelc_lint =="
+echo "== [2/5] gelc_lint =="
 ./build/tools/gelc_lint src tests bench examples tools
 
-echo "== [3/4] ctest =="
+echo "== [3/5] ctest =="
 (cd build && ctest --output-on-failure -j)
 
 if [[ "$fast" == "1" ]]; then
-  echo "== [4/4] SKIPPED (--fast): ASAN/UBSAN ctest =="
+  echo "== [4/5] SKIPPED (--fast): ASAN/UBSAN ctest =="
+  echo "== [5/5] SKIPPED (--fast): TSAN obs ctest =="
   exit 0
 fi
 
-echo "== [4/4] ASAN/UBSAN ctest =="
+echo "== [4/5] ASAN/UBSAN ctest =="
 cmake -B build-ubsan -S . -DGELC_ENABLE_ASAN=ON -DGELC_ENABLE_UBSAN=ON \
   >/dev/null
 cmake --build build-ubsan -j >/dev/null
 (cd build-ubsan && ctest --output-on-failure -j)
+
+echo "== [5/5] TSAN obs ctest =="
+cmake -B build-tsan -S . -DGELC_ENABLE_TSAN=ON >/dev/null
+cmake --build build-tsan -j --target obs_test parallel_test >/dev/null
+(cd build-tsan && ctest --output-on-failure -R '^(obs_test|parallel_test)')
 
 echo "check.sh: all gates green"

@@ -3,6 +3,12 @@
 # root: builds the tree, then runs every google-benchmark binary
 # (bench/bench_p*) with --benchmark_format=json.
 #
+# Each bench runs with GELC_METRICS=1 and GELC_METRICS_OUT pointed at a
+# temp file; the obs exit exporter dumps the whole run's metrics snapshot
+# there (single-line JSON, see src/obs/snapshot.h), which is spliced into
+# the regenerated BENCH file as a top-level "gelc_metrics" key alongside
+# google-benchmark's own "context"/"benchmarks".
+#
 # Usage: scripts/run_benches.sh [min_time] [filter-regex]
 #   min_time      --benchmark_min_time per bench (bare seconds; the
 #                 bundled benchmark version rejects an 's' suffix).
@@ -27,6 +33,17 @@ for bin in build/bench/bench_p*; do
     *) continue ;;
   esac
   echo "== bench_${name} -> BENCH_${short}.json" >&2
-  "$bin" --benchmark_format=json --benchmark_min_time="$min_time" \
-    > "BENCH_${short}.json"
+  snap="$(mktemp)"
+  raw="$(mktemp)"
+  GELC_METRICS=1 GELC_METRICS_OUT="$snap" \
+    "$bin" --benchmark_format=json --benchmark_min_time="$min_time" \
+    > "$raw"
+  # The benchmark JSON opens with a bare '{' on its first line; splice
+  # the single-line snapshot in as the first top-level key.
+  {
+    echo "{"
+    printf '  "gelc_metrics": %s,\n' "$(cat "$snap")"
+    tail -n +2 "$raw"
+  } > "BENCH_${short}.json"
+  rm -f "$snap" "$raw"
 done

@@ -10,6 +10,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace gelc {
 
 namespace {
@@ -115,12 +118,26 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   const size_t n = end - begin;
   const size_t threads = ParallelThreadCount();
   const size_t shards = std::min(threads, (n + grain - 1) / grain);
+  static obs::Counter* calls = obs::GetCounter("parallel.calls");
+  calls->Increment();
   // Serial path: one thread configured, range below the grain, or already
   // inside a pool worker (a nested wait on the pool could deadlock).
   if (shards <= 1 || tls_in_worker) {
+    static obs::Counter* serial = obs::GetCounter("parallel.serial_calls");
+    serial->Increment();
     fn(begin, end);
     return;
   }
+
+  // Deterministic scheduling facts only: tasks handed to the pool and the
+  // shard fan-out per call. Observed queue depth would be racy and vary
+  // run to run, so it stays out of the registry.
+  static obs::Counter* scheduled = obs::GetCounter("parallel.tasks_scheduled");
+  scheduled->Add(shards - 1);
+  static obs::Histogram* shard_hist = obs::GetHistogram(
+      "parallel.shards_per_call", {1, 2, 4, 8, 16, 32, 64});
+  shard_hist->Observe(static_cast<int64_t>(shards));
+  GELC_TRACE_SPAN("parallel.for", {{"n", n}, {"shards", shards}});
 
   ThreadPool& pool = ThreadPool::Global();
   pool.EnsureWorkers(shards - 1);
@@ -148,7 +165,8 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   for (size_t s = 1; s < shards; ++s) {
     const size_t b = bounds[s].first;
     const size_t e = bounds[s].second;
-    pool.Submit([&state, &fn, b, e] {
+    pool.Submit([&state, &fn, b, e, s] {
+      GELC_TRACE_SPAN("parallel.shard", {{"shard", s}, {"len", e - b}});
       try {
         fn(b, e);
       } catch (...) {
@@ -160,6 +178,8 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
     });
   }
   try {
+    GELC_TRACE_SPAN("parallel.shard",
+                    {{"shard", 0}, {"len", bounds[0].second - bounds[0].first}});
     fn(bounds[0].first, bounds[0].second);
   } catch (...) {
     std::lock_guard<std::mutex> lock(state.mu);

@@ -3,8 +3,23 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gelc {
+
+namespace {
+
+// Shared per-epoch instrumentation for the three trainers: epoch count,
+// a last-loss gauge, and (under tracing) one span per epoch.
+void RecordEpoch(double loss) {
+  static obs::Counter* epochs = obs::GetCounter("train.epochs");
+  static obs::Gauge* loss_gauge = obs::GetGauge("train.loss");
+  epochs->Increment();
+  loss_gauge->Set(loss);
+}
+
+}  // namespace
 
 TrainableGnn::TrainableGnn(const Config& config, Rng* rng)
     : config_(config) {
@@ -146,14 +161,27 @@ Result<TrainReport> TrainNodeClassifier(const NodeDataset& data,
 
   TrainReport report;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    GELC_TRACE_SPAN("train.epoch", {{"epoch", epoch}});
     Tape tape;
-    ValueId logits = model->NodeLogits(&tape, data.graph);
-    ValueId train_logits = tape.GatherRows(logits, data.train_nodes);
-    ValueId loss = tape.SoftmaxCrossEntropy(train_logits, train_labels);
+    ValueId loss;
+    {
+      GELC_TRACE_SPAN("train.forward");
+      ValueId logits = model->NodeLogits(&tape, data.graph);
+      ValueId train_logits = tape.GatherRows(logits, data.train_nodes);
+      loss = tape.SoftmaxCrossEntropy(train_logits, train_labels);
+    }
     opt.ZeroGrad();
-    tape.Backward(loss);
-    opt.Step();
-    report.loss_history.push_back(tape.value(loss).At(0, 0));
+    {
+      GELC_TRACE_SPAN("train.backward");
+      tape.Backward(loss);
+    }
+    {
+      GELC_TRACE_SPAN("train.step");
+      opt.Step();
+    }
+    double epoch_loss = tape.value(loss).At(0, 0);
+    RecordEpoch(epoch_loss);
+    report.loss_history.push_back(epoch_loss);
   }
 
   // Evaluation pass.
@@ -192,18 +220,30 @@ Result<TrainReport> TrainGraphClassifier(const GraphDataset& data,
 
   TrainReport report;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    GELC_TRACE_SPAN("train.epoch", {{"epoch", epoch}});
     double epoch_loss = 0.0;
     opt.ZeroGrad();
     for (size_t i = 0; i < train_count; ++i) {
       Tape tape;
-      ValueId logits = model->GraphLogits(&tape, data.graphs[i]);
-      ValueId loss = tape.SoftmaxCrossEntropy(logits, {data.labels[i]});
-      tape.Backward(loss);
+      ValueId loss;
+      {
+        GELC_TRACE_SPAN("train.forward");
+        ValueId logits = model->GraphLogits(&tape, data.graphs[i]);
+        loss = tape.SoftmaxCrossEntropy(logits, {data.labels[i]});
+      }
+      {
+        GELC_TRACE_SPAN("train.backward");
+        tape.Backward(loss);
+      }
       epoch_loss += tape.value(loss).At(0, 0);
     }
-    opt.Step();
-    report.loss_history.push_back(epoch_loss /
-                                  static_cast<double>(train_count));
+    {
+      GELC_TRACE_SPAN("train.step");
+      opt.Step();
+    }
+    double mean_loss = epoch_loss / static_cast<double>(train_count);
+    RecordEpoch(mean_loss);
+    report.loss_history.push_back(mean_loss);
   }
 
   std::vector<size_t> train_pred, train_truth, test_pred, test_truth;
@@ -240,13 +280,26 @@ Result<TrainReport> TrainLinkPredictor(const LinkDataset& data,
 
   TrainReport report;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    GELC_TRACE_SPAN("train.epoch", {{"epoch", epoch}});
     Tape tape;
-    ValueId logits = model->PairLogits(&tape, data.graph, data.train_pairs);
-    ValueId loss = tape.SoftmaxCrossEntropy(logits, data.train_labels);
+    ValueId loss;
+    {
+      GELC_TRACE_SPAN("train.forward");
+      ValueId logits = model->PairLogits(&tape, data.graph, data.train_pairs);
+      loss = tape.SoftmaxCrossEntropy(logits, data.train_labels);
+    }
     opt.ZeroGrad();
-    tape.Backward(loss);
-    opt.Step();
-    report.loss_history.push_back(tape.value(loss).At(0, 0));
+    {
+      GELC_TRACE_SPAN("train.backward");
+      tape.Backward(loss);
+    }
+    {
+      GELC_TRACE_SPAN("train.step");
+      opt.Step();
+    }
+    double epoch_loss = tape.value(loss).At(0, 0);
+    RecordEpoch(epoch_loss);
+    report.loss_history.push_back(epoch_loss);
   }
 
   auto eval = [&](const std::vector<std::pair<VertexId, VertexId>>& pairs,

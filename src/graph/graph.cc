@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/logging.h"
+#include "obs/metrics.h"
 
 namespace gelc {
 
@@ -50,7 +51,12 @@ Status Graph::AddEdge(VertexId u, VertexId v) {
     SortedInsert(&in_[u], v);
     ++num_arcs_;
   }
-  csr_.reset();  // structure changed; the CSR snapshot is stale
+  if (csr_ != nullptr) {
+    static obs::Counter* invalidations =
+        obs::GetCounter("graph.csr_cache.invalidations");
+    invalidations->Increment();
+    csr_.reset();  // structure changed; the CSR snapshot is stale
+  }
   return Status::OK();
 }
 
@@ -70,7 +76,9 @@ void Graph::SetOneHotFeature(VertexId v, size_t k) {
 }
 
 Matrix Graph::AdjacencyMatrix() const {
-  ++dense_adjacency_builds_;
+  static obs::Counter* builds =
+      obs::GetCounter("graph.dense_adjacency_builds");
+  builds->Increment();
   size_t n = num_vertices();
   Matrix a(n, n);
   for (size_t u = 0; u < n; ++u)
@@ -79,8 +87,19 @@ Matrix Graph::AdjacencyMatrix() const {
 }
 
 const CsrGraph& Graph::Csr() const {
-  if (csr_ == nullptr) csr_ = std::make_shared<const CsrGraph>(*this);
+  if (csr_ == nullptr) {
+    static obs::Counter* misses = obs::GetCounter("graph.csr_cache.misses");
+    misses->Increment();
+    csr_ = std::make_shared<const CsrGraph>(*this);
+  } else {
+    static obs::Counter* hits = obs::GetCounter("graph.csr_cache.hits");
+    hits->Increment();
+  }
   return *csr_;
+}
+
+size_t Graph::dense_adjacency_builds() {
+  return static_cast<size_t>(obs::ReadCounter("graph.dense_adjacency_builds"));
 }
 
 Matrix Graph::MeanAdjacencyMatrix() const {

@@ -93,10 +93,12 @@ class Graph {
   /// thread-safe; call it once before sharing the graph across shards.
   const CsrGraph& Csr() const;
 
-  /// How many times a dense adjacency matrix has been materialized from
-  /// this graph (AdjacencyMatrix / MeanAdjacencyMatrix). Tests use this
-  /// to pin that the sparse hot paths never densify.
-  size_t dense_adjacency_builds() const { return dense_adjacency_builds_; }
+  /// How many times a dense adjacency matrix has been materialized by
+  /// *any* graph in this process (AdjacencyMatrix / MeanAdjacencyMatrix) —
+  /// reads the process-wide "graph.dense_adjacency_builds" metric, so
+  /// tests pin sparse hot paths as delta-free via obs::Snapshot(). Only
+  /// meaningful while metrics are enabled (the default).
+  static size_t dense_adjacency_builds();
 
   /// The image graph pi(G): vertex v is renamed perm[v]. perm must be a
   /// permutation of {0..n-1}. Used by invariance checks (slide 11).
@@ -125,7 +127,6 @@ class Graph {
   // Lazily-built CSR snapshot; shared so copies of an unmutated graph
   // reuse it, reset on mutation. Never exposed mutably.
   mutable std::shared_ptr<const CsrGraph> csr_;
-  mutable size_t dense_adjacency_builds_ = 0;
 };
 
 }  // namespace gelc

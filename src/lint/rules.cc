@@ -63,6 +63,10 @@ void RuleRawThread(const FileContext& ctx, std::vector<Diagnostic>* out) {
       PathEndsWith(ctx.path, "base/parallel.cc")) {
     return;
   }
+  // src/obs guards its registry and trace-buffer list with mutexes by
+  // design (registration is rare, never a hot path); everything else
+  // still goes through the pool. tests/obs_test.cc is NOT exempt.
+  if (PathHasComponent(ctx.path, "obs")) return;
   static const std::unordered_set<std::string> kBanned = {
       "thread",        "jthread",
       "async",         "mutex",
@@ -81,6 +85,30 @@ void RuleRawThread(const FileContext& ctx, std::vector<Diagnostic>* out) {
              out);
       i += 2;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// adhoc-timing: wall-clock reads belong to the trace layer (obs/trace)
+// or to benchmarks. Ad-hoc steady_clock stopwatches scattered through
+// library code bit-rot, skew results, and bypass GELC_TRACE; instrument
+// with GELC_TRACE_SPAN instead. Matching the bare clock identifier (not
+// the full std::chrono:: spelling) also catches namespace aliases.
+// ---------------------------------------------------------------------------
+void RuleAdhocTiming(const FileContext& ctx, std::vector<Diagnostic>* out) {
+  if (PathHasComponent(ctx.path, "obs") || PathHasComponent(ctx.path, "bench"))
+    return;
+  static const std::unordered_set<std::string> kClocks = {
+      "steady_clock", "high_resolution_clock", "system_clock"};
+  const Tokens& t = ctx.lex->tokens;
+  for (const Token& tok : t) {
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    if (kClocks.count(tok.text) == 0) continue;
+    Report(ctx, tok.line, "adhoc-timing",
+           tok.text +
+               " outside src/obs/ and bench/; time code with "
+               "GELC_TRACE_SPAN (obs/trace.h) instead of an ad-hoc stopwatch",
+           out);
   }
 }
 
@@ -353,8 +381,9 @@ void RuleUncheckedStatus(const FileContext& ctx,
 const std::vector<std::string>& AllRuleNames() {
   static const std::vector<std::string> kNames = {
       "unchecked-status",  "dense-adjacency-in-hot-path",
-      "raw-thread",        "nondeterminism",
-      "banned-alloc",      "include-hygiene",
+      "raw-thread",        "adhoc-timing",
+      "nondeterminism",    "banned-alloc",
+      "include-hygiene",
   };
   return kNames;
 }
@@ -364,6 +393,7 @@ std::vector<Diagnostic> RunAllRules(const FileContext& ctx) {
   RuleUncheckedStatus(ctx, &out);
   RuleDenseAdjacency(ctx, &out);
   RuleRawThread(ctx, &out);
+  RuleAdhocTiming(ctx, &out);
   RuleNondeterminism(ctx, &out);
   RuleBannedAlloc(ctx, &out);
   RuleIncludeHygiene(ctx, &out);

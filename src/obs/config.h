@@ -1,0 +1,61 @@
+// Observability configuration: one struct, three env vars, runtime
+// toggles (see DESIGN.md "Observability").
+//
+//   GELC_METRICS      "0" disables the metrics registry (default: on).
+//                     Disabled counters/gauges/histograms are no-ops; the
+//                     instrumented hot paths pay one relaxed atomic load.
+//   GELC_TRACE        "1" enables scoped trace spans (default: off). At
+//                     process exit the buffered spans are written to
+//                     GELC_TRACE_OUT as Chrome/Perfetto JSON.
+//   GELC_TRACE_OUT    Trace output path (default "gelc_trace.json").
+//   GELC_METRICS_OUT  Optional path; when set, the metrics snapshot JSON
+//                     is written there at process exit (run_benches.sh
+//                     uses this to embed metrics into BENCH_p*.json).
+//
+// The enabled flags can also be flipped at runtime (tests and gelc_stats
+// do) via SetMetricsEnabled / SetTraceEnabled; passing the env-derived
+// default back is done with ResetEnabledFromEnv.
+#ifndef GELC_OBS_CONFIG_H_
+#define GELC_OBS_CONFIG_H_
+
+#include <string>
+
+namespace gelc {
+namespace obs {
+
+/// The parsed environment, read once at first use.
+struct Config {
+  bool metrics_enabled = true;
+  bool trace_enabled = false;
+  std::string trace_out = "gelc_trace.json";
+  std::string metrics_out;  // empty: no exit-time snapshot dump
+};
+
+/// The process-wide configuration (env parsed on first call).
+const Config& GlobalConfig();
+
+/// True when counters/gauges/histograms record (hot-path check: one
+/// relaxed atomic load).
+bool MetricsEnabled();
+/// True when scoped spans record into the trace ring buffers.
+bool TraceEnabled();
+
+/// Runtime overrides of the env-derived flags (benchmark sweeps and
+/// tests flip these; they affect subsequent records only).
+void SetMetricsEnabled(bool enabled);
+void SetTraceEnabled(bool enabled);
+/// Restores both flags to the GELC_METRICS / GELC_TRACE values.
+void ResetEnabledFromEnv();
+
+namespace internal {
+/// Registers the process-exit exporter (trace file + optional metrics
+/// snapshot dump) exactly once. Called by the registry and the trace
+/// collector on construction so the exporter is destroyed — and thus
+/// runs — before either of them goes away.
+void EnsureExitExporter();
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace gelc
+
+#endif  // GELC_OBS_CONFIG_H_

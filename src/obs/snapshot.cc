@@ -1,0 +1,85 @@
+#include "obs/snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/strings.h"
+#include "obs/metrics.h"
+
+namespace gelc {
+namespace obs {
+
+StatsSnapshot Snapshot() {
+  StatsSnapshot snap;
+  internal::VisitMetrics(
+      [&](const Counter& c) {
+        uint64_t v = c.Read();
+        if (v > 0) snap.counters.push_back({c.name(), v});
+      },
+      [&](const Gauge& g) {
+        if (g.ever_set()) snap.gauges.push_back({g.name(), g.Read()});
+      },
+      [&](const Histogram& h) {
+        if (h.TotalCount() > 0) {
+          snap.histograms.push_back(
+              {h.name(), h.bounds(), h.Counts(), h.TotalCount(), h.Sum()});
+        }
+      });
+  return snap;
+}
+
+namespace {
+
+template <typename T>
+void AppendArray(std::ostringstream& out, const std::vector<T>& values) {
+  out << "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out << ", ";
+    out << values[i];
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string SnapshotJson(const StatsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSample& c = snapshot.counters[i];
+    if (i) out << ", ";
+    out << "\"" << JsonEscape(c.name) << "\": " << c.value;
+  }
+  out << "}, \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSample& g = snapshot.gauges[i];
+    if (i) out << ", ";
+    out << "\"" << JsonEscape(g.name) << "\": " << FormatDouble(g.value);
+  }
+  out << "}, \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    if (i) out << ", ";
+    out << "\"" << JsonEscape(h.name) << "\": {\"bounds\": ";
+    AppendArray(out, h.bounds);
+    out << ", \"counts\": ";
+    AppendArray(out, h.counts);
+    out << ", \"total\": " << h.total << ", \"sum\": " << h.sum << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string SnapshotJson() { return SnapshotJson(Snapshot()); }
+
+Status WriteSnapshotJson(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open snapshot output " + path);
+  out << SnapshotJson() << "\n";
+  out.flush();
+  if (!out) return Status::IOError("snapshot write failed on " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace gelc

@@ -1,0 +1,64 @@
+// Point-in-time view of every touched metric, as a struct and as JSON
+// (see DESIGN.md "Observability").
+//
+// Snapshots contain only deterministic quantities (the registry never
+// holds wall-clock values), are sorted by metric name, and omit metrics
+// that were registered but never recorded — so two identical runs
+// serialize byte-for-byte identically, which tools/gelc_stats and the
+// golden tests in tests/obs_test.cc rely on.
+#ifndef GELC_OBS_SNAPSHOT_H_
+#define GELC_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace gelc {
+namespace obs {
+
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<int64_t> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1, last = overflow
+  uint64_t total = 0;
+  int64_t sum = 0;
+};
+
+/// Every touched metric, each kind sorted by name. Counters that are
+/// still zero, gauges never Set, and empty histograms are omitted.
+struct StatsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Captures the current registry state.
+StatsSnapshot Snapshot();
+
+/// Serializes a snapshot as a single line of JSON (no trailing newline):
+///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+/// Gauges use round-trip shortest formatting (FormatDouble), so the
+/// output is byte-stable for equal values.
+std::string SnapshotJson(const StatsSnapshot& snapshot);
+/// SnapshotJson(Snapshot()).
+std::string SnapshotJson();
+
+/// Writes SnapshotJson() plus a trailing newline to `path`.
+Status WriteSnapshotJson(const std::string& path);
+
+}  // namespace obs
+}  // namespace gelc
+
+#endif  // GELC_OBS_SNAPSHOT_H_

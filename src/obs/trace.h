@@ -1,0 +1,127 @@
+// Scoped trace spans recorded into per-thread ring buffers (see
+// DESIGN.md "Observability").
+//
+//   void RunRound(size_t r) {
+//     GELC_TRACE_SPAN("wl.round", {{"round", r}});
+//     ...
+//   }
+//
+// Each span records (name, start, duration, nesting depth, small integer
+// args) on destruction into a lock-free ring buffer owned by the calling
+// thread; the collector drains every buffer on export. Two exporters:
+//   TraceJson()        — Chrome chrome://tracing / Perfetto "traceEvents"
+//                        JSON (complete "X" events, microsecond ts/dur)
+//   TraceSummaryText() — a merged call tree with call counts and
+//                        inclusive/exclusive milliseconds per path
+// When TraceEnabled() is false a span costs one relaxed atomic load and
+// no clock read. Span names and arg keys must be string literals (the
+// ring buffer stores the pointers, not copies).
+//
+// Timing policy: this file is the only sanctioned home of steady_clock
+// reads outside bench/ — the adhoc-timing lint rule enforces it. Wall
+// times never enter the metrics registry, which stays deterministic.
+#ifndef GELC_OBS_TRACE_H_
+#define GELC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "base/status.h"
+#include "obs/config.h"
+
+namespace gelc {
+namespace obs {
+
+/// One span argument: a string-literal key and an integer value. The
+/// constructor is templated so brace-init from any integer type (size_t
+/// loop counters included) works without narrowing diagnostics.
+struct SpanArg {
+  const char* key = nullptr;
+  int64_t value = 0;
+
+  SpanArg() = default;
+  template <typename T>
+  SpanArg(const char* k, T v) : key(k), value(static_cast<int64_t>(v)) {}
+};
+
+namespace internal {
+
+constexpr size_t kMaxSpanArgs = 3;
+
+/// Monotonic nanoseconds (steady_clock); only meaningful as differences.
+int64_t NowNs();
+
+/// Records a completed span into the calling thread's ring buffer.
+void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns,
+                uint32_t depth, const SpanArg* args, uint32_t nargs);
+
+/// Current span nesting depth of the calling thread (incremented by live
+/// ScopedSpans).
+uint32_t& ThreadSpanDepth();
+
+/// Constructs the trace collector singleton without registering the exit
+/// exporter. Called from the exporter's constructor so the collector is
+/// always constructed first — and thus destroyed after the export runs.
+void TouchTraceCollector();
+
+}  // namespace internal
+
+/// RAII span: records [construction, destruction) when tracing is
+/// enabled at construction time. Use via GELC_TRACE_SPAN.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : ScopedSpan(name, {}) {}
+  ScopedSpan(const char* name, std::initializer_list<SpanArg> args);
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+  /// Attaches/overwrites an argument before the span closes (for values
+  /// only known at the end of the scope, e.g. colors after a WL round).
+  /// Silently drops args past the kMaxSpanArgs fixed capacity.
+  void SetArg(const char* key, int64_t value);
+
+ private:
+  bool active_;
+  uint32_t depth_ = 0;
+  uint32_t nargs_ = 0;
+  int64_t start_ns_ = 0;
+  const char* name_ = nullptr;
+  SpanArg args_[internal::kMaxSpanArgs];
+};
+
+/// All buffered spans as Chrome tracing JSON ({"traceEvents": [...]}).
+/// Call when no spans are in flight on other threads (after ParallelFor
+/// joins); timestamps are relative to the first buffered span.
+std::string TraceJson();
+
+/// Writes TraceJson() to `path`.
+Status WriteTrace(const std::string& path);
+
+/// Merged call tree across threads: one line per distinct span path with
+/// call count, inclusive ms, exclusive ms (inclusive minus direct
+/// children). Paths print in lexicographic order, children indented.
+std::string TraceSummaryText();
+
+/// Number of spans currently buffered across all threads (drops from
+/// ring-buffer wraparound excluded).
+size_t TraceEventCount();
+
+/// Clears every thread's ring buffer (tests; spans must not be in
+/// flight elsewhere).
+void ResetTraceForTest();
+
+}  // namespace obs
+}  // namespace gelc
+
+#define GELC_OBS_CONCAT_INNER_(a, b) a##b
+#define GELC_OBS_CONCAT_(a, b) GELC_OBS_CONCAT_INNER_(a, b)
+
+/// GELC_TRACE_SPAN("name") or GELC_TRACE_SPAN("name", {{"key", v}, ...}):
+/// a scoped span covering the rest of the enclosing block.
+#define GELC_TRACE_SPAN(...)                                        \
+  ::gelc::obs::ScopedSpan GELC_OBS_CONCAT_(gelc_trace_span_,        \
+                                           __LINE__)(__VA_ARGS__)
+
+#endif  // GELC_OBS_TRACE_H_

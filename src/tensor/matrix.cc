@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "base/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gelc {
 
@@ -87,10 +89,23 @@ void Matrix::MatMulImpl(const Matrix& other, Matrix* out) const {
       }
     }
   };
-  if (rows_ * inner * ocols < kMatMulSerialWork) {
+  const size_t work = rows_ * inner * ocols;
+  static obs::Counter* calls = obs::GetCounter("matmul.calls");
+  static obs::Counter* flops = obs::GetCounter("matmul.flops");
+  static obs::Counter* out_rows = obs::GetCounter("matmul.rows");
+  calls->Increment();
+  flops->Add(2 * work);  // one multiply + one add per (i, k, j) triple
+  out_rows->Add(rows_);
+  GELC_TRACE_SPAN("matmul", {{"rows", rows_}, {"inner", inner},
+                             {"ocols", ocols}});
+  if (work < kMatMulSerialWork) {
+    static obs::Counter* serial = obs::GetCounter("matmul.serial_dispatch");
+    serial->Increment();
     row_range(0, rows_);
     return;
   }
+  static obs::Counter* parallel = obs::GetCounter("matmul.parallel_dispatch");
+  parallel->Increment();
   size_t row_work = std::max<size_t>(1, inner * ocols);
   size_t grain = std::max<size_t>(1, kMatMulShardWork / row_work);
   ParallelFor(0, rows_, grain, row_range);

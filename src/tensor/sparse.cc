@@ -4,6 +4,8 @@
 
 #include "base/logging.h"
 #include "base/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gelc {
 
@@ -105,10 +107,21 @@ void SpMMInto(const CsrMatrix& a, const Matrix& b, Matrix* out) {
     }
   };
   const size_t work = a.nnz() * std::max<size_t>(d, 1);
+  static obs::Counter* calls = obs::GetCounter("spmm.calls");
+  static obs::Counter* flops = obs::GetCounter("spmm.flops");
+  static obs::Counter* out_rows = obs::GetCounter("spmm.rows");
+  calls->Increment();
+  flops->Add(2 * work);  // one multiply + one add per (nnz, j) pair
+  out_rows->Add(a.rows);
+  GELC_TRACE_SPAN("spmm", {{"rows", a.rows}, {"nnz", a.nnz()}, {"d", d}});
   if (work < kSpMMSerialWork || a.rows == 0) {
+    static obs::Counter* serial = obs::GetCounter("spmm.serial_dispatch");
+    serial->Increment();
     row_range(0, a.rows);
     return;
   }
+  static obs::Counter* parallel = obs::GetCounter("spmm.parallel_dispatch");
+  parallel->Increment();
   // Grain from the *average* row cost; a pure function of the CSR
   // structure, so shard boundaries (and hence scheduling) never depend on
   // the data. Rows are disjoint output slots, so any schedule produces

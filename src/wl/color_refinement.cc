@@ -7,6 +7,8 @@
 #include "base/hash.h"
 #include "base/logging.h"
 #include "base/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gelc {
 
@@ -41,6 +43,12 @@ std::vector<uint64_t> CrColoring::GraphSignature(size_t g) const {
 
 CrColoring RunColorRefinement(const std::vector<const Graph*>& graphs,
                               int max_rounds) {
+  static obs::Counter* runs = obs::GetCounter("wl.cr.runs");
+  static obs::Counter* rounds_total = obs::GetCounter("wl.cr.rounds");
+  static obs::Histogram* rounds_hist = obs::GetHistogram(
+      "wl.cr.rounds_to_stable", {1, 2, 4, 8, 16, 32, 64});
+  runs->Increment();
+  GELC_TRACE_SPAN("wl.cr", {{"graphs", graphs.size()}});
   Interner interner;
   CrColoring out;
   out.stable.resize(graphs.size());
@@ -61,6 +69,7 @@ CrColoring RunColorRefinement(const std::vector<const Graph*>& graphs,
   size_t prev_distinct = CountDistinct(out.stable);
   for (size_t round = 1;; ++round) {
     if (max_rounds >= 0 && round > static_cast<size_t>(max_rounds)) break;
+    obs::ScopedSpan round_span("wl.round", {{"round", round}});
     std::vector<std::vector<uint64_t>> next(graphs.size());
     for (size_t g = 0; g < graphs.size(); ++g) {
       const Graph& graph = *graphs[g];
@@ -84,11 +93,20 @@ CrColoring RunColorRefinement(const std::vector<const Graph*>& graphs,
       for (size_t v = 0; v < n; ++v) next[g][v] = interner.Intern(sigs[v]);
     }
     size_t distinct = CountDistinct(next);
+    round_span.SetArg("colors", static_cast<int64_t>(distinct));
+    rounds_total->Increment();
     out.stable = std::move(next);
     out.history.push_back(out.stable);
     out.rounds = round;
     if (distinct == prev_distinct) break;  // partition stable
     prev_distinct = distinct;
+  }
+  rounds_hist->Observe(static_cast<int64_t>(out.rounds));
+  if (obs::MetricsEnabled()) {  // CountDistinct is not free; skip when off
+    obs::GetGauge("wl.cr.colors")->Set(
+        static_cast<double>(CountDistinct(out.stable)));
+    obs::GetGauge("wl.cr.interner_size")->Set(
+        static_cast<double>(interner.size()));
   }
   return out;
 }

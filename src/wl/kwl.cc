@@ -7,6 +7,8 @@
 #include "base/hash.h"
 #include "base/logging.h"
 #include "base/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wl/color_refinement.h"
 
 namespace gelc {
@@ -146,6 +148,12 @@ Result<KwlColoring> RunKwl(const std::vector<const Graph*>& graphs, size_t k,
     }
   }
 
+  static obs::Counter* runs = obs::GetCounter("wl.kwl.runs");
+  static obs::Counter* rounds_total = obs::GetCounter("wl.kwl.rounds");
+  static obs::Histogram* rounds_hist = obs::GetHistogram(
+      "wl.kwl.rounds_to_stable", {1, 2, 4, 8, 16, 32, 64});
+  runs->Increment();
+  GELC_TRACE_SPAN("wl.kwl", {{"k", k}, {"graphs", graphs.size()}});
   Interner interner;
   KwlColoring out;
   out.k = k;
@@ -160,6 +168,7 @@ Result<KwlColoring> RunKwl(const std::vector<const Graph*>& graphs, size_t k,
   size_t prev_distinct = CountDistinct(out.stable);
   for (size_t round = 1;; ++round) {
     if (max_rounds >= 0 && round > static_cast<size_t>(max_rounds)) break;
+    obs::ScopedSpan round_span("wl.round", {{"round", round}});
     std::vector<std::vector<uint64_t>> next(graphs.size());
     for (size_t g = 0; g < graphs.size(); ++g) {
       size_t n = graphs[g]->num_vertices();
@@ -203,10 +212,19 @@ Result<KwlColoring> RunKwl(const std::vector<const Graph*>& graphs, size_t k,
       }
     }
     size_t distinct = CountDistinct(next);
+    round_span.SetArg("colors", static_cast<int64_t>(distinct));
+    rounds_total->Increment();
     out.stable = std::move(next);
     out.rounds = round;
     if (distinct == prev_distinct) break;
     prev_distinct = distinct;
+  }
+  rounds_hist->Observe(static_cast<int64_t>(out.rounds));
+  if (obs::MetricsEnabled()) {  // CountDistinct is not free; skip when off
+    obs::GetGauge("wl.kwl.colors")->Set(
+        static_cast<double>(CountDistinct(out.stable)));
+    obs::GetGauge("wl.kwl.interner_size")->Set(
+        static_cast<double>(interner.size()));
   }
   return out;
 }
@@ -223,6 +241,12 @@ Result<KwlColoring> RunObliviousKwl(const std::vector<const Graph*>& graphs,
     }
   }
 
+  static obs::Counter* runs = obs::GetCounter("wl.oblivious_kwl.runs");
+  static obs::Counter* rounds_total = obs::GetCounter("wl.oblivious_kwl.rounds");
+  static obs::Histogram* rounds_hist = obs::GetHistogram(
+      "wl.oblivious_kwl.rounds_to_stable", {1, 2, 4, 8, 16, 32, 64});
+  runs->Increment();
+  GELC_TRACE_SPAN("wl.oblivious_kwl", {{"k", k}, {"graphs", graphs.size()}});
   Interner interner;
   KwlColoring out;
   out.k = k;
@@ -236,6 +260,7 @@ Result<KwlColoring> RunObliviousKwl(const std::vector<const Graph*>& graphs,
   size_t prev_distinct = CountDistinct(out.stable);
   for (size_t round = 1;; ++round) {
     if (max_rounds >= 0 && round > static_cast<size_t>(max_rounds)) break;
+    obs::ScopedSpan round_span("wl.round", {{"round", round}});
     std::vector<std::vector<uint64_t>> next(graphs.size());
     for (size_t g = 0; g < graphs.size(); ++g) {
       size_t n = graphs[g]->num_vertices();
@@ -274,11 +299,14 @@ Result<KwlColoring> RunObliviousKwl(const std::vector<const Graph*>& graphs,
       }
     }
     size_t distinct = CountDistinct(next);
+    round_span.SetArg("colors", static_cast<int64_t>(distinct));
+    rounds_total->Increment();
     out.stable = std::move(next);
     out.rounds = round;
     if (distinct == prev_distinct) break;
     prev_distinct = distinct;
   }
+  rounds_hist->Observe(static_cast<int64_t>(out.rounds));
   return out;
 }
 

@@ -120,6 +120,42 @@ TEST(RulesTest, RawThreadExemptInBaseParallel) {
   EXPECT_FALSE(RunOn("src/gnn/parallel.cc", "std::thread t(f);").empty());
 }
 
+TEST(RulesTest, RawThreadExemptUnderObs) {
+  EXPECT_TRUE(RunOn("src/obs/metrics.cc", "std::mutex mu;").empty());
+  EXPECT_TRUE(RunOn("src/obs/trace.cc", "std::mutex mu;").empty());
+  // The obs *tests* are not exempt — only the library directory is.
+  EXPECT_FALSE(RunOn("tests/obs_test.cc", "std::mutex mu;").empty());
+}
+
+TEST(RulesTest, AdhocTimingFiresOutsideObsAndBench) {
+  auto diags = RunOn(
+      "src/wl/kwl.cc",
+      "auto t0 = std::chrono::steady_clock::now();\n"
+      "auto t1 = std::chrono::high_resolution_clock::now();\n"
+      "auto t2 = std::chrono::system_clock::now();");
+  EXPECT_EQ(RulesOf(diags),
+            (std::vector<std::string>{"adhoc-timing", "adhoc-timing",
+                                      "adhoc-timing"}));
+  // Namespace aliases don't dodge the rule: the bare identifier matches.
+  EXPECT_EQ(RunOn("src/a.cc",
+                  "namespace ch = std::chrono; auto t = "
+                  "ch::steady_clock::now();")
+                .size(),
+            1u);
+}
+
+TEST(RulesTest, AdhocTimingExemptInObsBenchAndNolint) {
+  EXPECT_TRUE(
+      RunOn("src/obs/trace.cc", "std::chrono::steady_clock::now();").empty());
+  EXPECT_TRUE(
+      RunOn("bench/bench_e12.cc", "std::chrono::steady_clock::now();")
+          .empty());
+  EXPECT_TRUE(RunOn("src/a.cc",
+                    "auto t = std::chrono::steady_clock::now();  "
+                    "// NOLINT(adhoc-timing)")
+                  .empty());
+}
+
 TEST(RulesTest, NondeterminismRandSrandTimeRandomDevice) {
   auto diags = RunOn("src/a.cc",
                      "int a = rand(); srand(7); std::random_device rd; "
@@ -322,10 +358,11 @@ TEST(ReportTest, JsonEscapesSpecialCharacters) {
 
 TEST(ReportTest, AllRuleNamesListedOnce) {
   const auto& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 7u);
   for (const char* expected :
        {"unchecked-status", "dense-adjacency-in-hot-path", "raw-thread",
-        "nondeterminism", "banned-alloc", "include-hygiene"}) {
+        "adhoc-timing", "nondeterminism", "banned-alloc",
+        "include-hygiene"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }

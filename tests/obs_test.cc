@@ -1,0 +1,252 @@
+// Tests for the observability library (src/obs): sharded counter
+// correctness under the pool, gauge/histogram semantics, snapshot JSON
+// (including a byte-exact golden), scoped span nesting and the summary
+// tree's exclusive-time math, and the disabled-mode no-op contract.
+//
+// The registry is process-global, so every test either uses metric names
+// unique to itself or resets the registry first; the pool workers spawned
+// by ParallelFor are the "N threads" of the concurrency tests.
+#include "obs/metrics.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/parallel.h"
+#include "obs/config.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+
+namespace gelc {
+namespace {
+
+struct ScopedThreads {
+  explicit ScopedThreads(size_t n) { SetParallelThreadCount(n); }
+  ~ScopedThreads() { SetParallelThreadCount(0); }
+};
+
+// Forces metrics on for the test body, restoring the env-derived flags
+// after (the suite must pass under any GELC_METRICS setting).
+struct ScopedMetricsOn {
+  ScopedMetricsOn() { obs::SetMetricsEnabled(true); }
+  ~ScopedMetricsOn() { obs::ResetEnabledFromEnv(); }
+};
+
+TEST(CounterTest, ConcurrentAddsMergeExactly) {
+  ScopedMetricsOn metrics_on;
+  ScopedThreads threads(4);
+  obs::Counter* c = obs::GetCounter("test.counter.concurrent");
+  const uint64_t before = c->Read();
+  constexpr size_t kPerShardAdds = 50000;
+  // Four shards hammer the same counter; thread-local sharding means the
+  // merged total is exact, not approximate.
+  ParallelFor(0, 4 * kPerShardAdds, kPerShardAdds,
+              [c](size_t b, size_t e) {
+                for (size_t i = b; i < e; ++i) c->Increment();
+              });
+  EXPECT_EQ(c->Read(), before + 4 * kPerShardAdds);
+}
+
+TEST(CounterTest, HandleIsStableAndNamed) {
+  obs::Counter* a = obs::GetCounter("test.counter.stable");
+  obs::Counter* b = obs::GetCounter("test.counter.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->name(), "test.counter.stable");
+}
+
+TEST(CounterTest, ReadCounterByNameAndUnknownIsZero) {
+  ScopedMetricsOn metrics_on;
+  obs::GetCounter("test.counter.byname")->Add(5);
+  EXPECT_GE(obs::ReadCounter("test.counter.byname"), 5u);
+  EXPECT_EQ(obs::ReadCounter("test.counter.never_registered"), 0u);
+}
+
+TEST(GaugeTest, SetReadAndEverSet) {
+  ScopedMetricsOn metrics_on;
+  obs::Gauge* g = obs::GetGauge("test.gauge.basic");
+  EXPECT_FALSE(g->ever_set());
+  g->Set(2.5);
+  EXPECT_TRUE(g->ever_set());
+  EXPECT_EQ(g->Read(), 2.5);
+  g->Set(-1.0);  // last write wins
+  EXPECT_EQ(g->Read(), -1.0);
+}
+
+TEST(HistogramTest, BucketEdgesAreInclusiveUpperBounds) {
+  ScopedMetricsOn metrics_on;
+  obs::Histogram* h = obs::GetHistogram("test.hist.edges", {1, 2, 4});
+  // Bucket i counts v <= bounds[i]: 0,1 -> [<=1]; 2 -> (1,2]; 3,4 -> (2,4];
+  // 5 overflows.
+  for (int64_t v : {0, 1, 2, 3, 4, 5}) h->Observe(v);
+  std::vector<uint64_t> counts = h->Counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);  // overflow bucket
+  EXPECT_EQ(h->TotalCount(), 6u);
+  EXPECT_EQ(h->Sum(), 15);
+  EXPECT_EQ(h->bounds(), (std::vector<int64_t>{1, 2, 4}));
+}
+
+TEST(HistogramTest, SameNameReturnsSameHistogram) {
+  obs::Histogram* a = obs::GetHistogram("test.hist.dup", {1, 2});
+  obs::Histogram* b = obs::GetHistogram("test.hist.dup", {7, 8, 9});
+  EXPECT_EQ(a, b);  // original bounds win
+  EXPECT_EQ(a->bounds(), (std::vector<int64_t>{1, 2}));
+}
+
+TEST(DisabledModeTest, RecordsAreNoOps) {
+  obs::SetMetricsEnabled(false);
+  obs::Counter* c = obs::GetCounter("test.disabled.counter");
+  obs::Gauge* g = obs::GetGauge("test.disabled.gauge");
+  obs::Histogram* h = obs::GetHistogram("test.disabled.hist", {10});
+  const uint64_t c_before = c->Read();
+  c->Add(100);
+  g->Set(3.0);
+  h->Observe(5);
+  EXPECT_EQ(c->Read(), c_before);
+  EXPECT_FALSE(g->ever_set());
+  EXPECT_EQ(h->TotalCount(), 0u);
+  obs::ResetEnabledFromEnv();
+}
+
+TEST(DisabledModeTest, SpansAreNoOps) {
+  obs::SetTraceEnabled(false);
+  const size_t before = obs::TraceEventCount();
+  {
+    GELC_TRACE_SPAN("test.disabled.span", {{"x", 1}});
+  }
+  EXPECT_EQ(obs::TraceEventCount(), before);
+  obs::ResetEnabledFromEnv();
+}
+
+TEST(TraceTest, ScopedSpanRecordsNameArgsAndNesting) {
+  obs::ResetTraceForTest();
+  obs::SetTraceEnabled(true);
+  {
+    GELC_TRACE_SPAN("test.outer", {{"x", 7}});
+    { GELC_TRACE_SPAN("test.inner"); }
+  }
+  obs::SetTraceEnabled(false);
+  EXPECT_EQ(obs::TraceEventCount(), 2u);
+  std::string json = obs::TraceJson();
+  EXPECT_NE(json.find("\"name\": \"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"x\": 7}"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // The summary reconstructs nesting from depths: inner indents under
+  // outer.
+  std::string summary = obs::TraceSummaryText();
+  EXPECT_NE(summary.find("test.outer"), std::string::npos);
+  EXPECT_NE(summary.find("  test.inner"), std::string::npos);
+  obs::ResetTraceForTest();
+}
+
+TEST(TraceTest, SetArgAttachesAndOverwrites) {
+  obs::ResetTraceForTest();
+  obs::SetTraceEnabled(true);
+  {
+    obs::ScopedSpan span("test.setarg", {{"colors", 0}});
+    span.SetArg("colors", 42);       // overwrite by key
+    span.SetArg("extra", 9);         // append
+  }
+  obs::SetTraceEnabled(false);
+  std::string json = obs::TraceJson();
+  EXPECT_NE(json.find("\"colors\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"extra\": 9"), std::string::npos);
+  EXPECT_EQ(json.find("\"colors\": 0"), std::string::npos);
+  obs::ResetTraceForTest();
+}
+
+TEST(TraceTest, SummaryExclusiveTimeSubtractsDirectChildren) {
+  obs::ResetTraceForTest();
+  // Synthetic events with exact nanosecond durations (RecordSpan is the
+  // layer under ScopedSpan, so the math is tested deterministically).
+  // Ring buffers record in end order: children complete first.
+  obs::internal::RecordSpan("child", 1'000'000, 3'000'000, 1, nullptr, 0);
+  obs::internal::RecordSpan("root", 0, 5'000'000, 0, nullptr, 0);
+  std::string summary = obs::TraceSummaryText();
+  // root: inclusive 5ms, exclusive 5-2=3ms. child: 2ms both.
+  EXPECT_NE(summary.find("5.000"), std::string::npos);
+  EXPECT_NE(summary.find("3.000"), std::string::npos);
+  EXPECT_NE(summary.find("2.000"), std::string::npos);
+  EXPECT_NE(summary.find("  child"), std::string::npos);
+  obs::ResetTraceForTest();
+}
+
+TEST(TraceTest, SummarySiblingsDoNotNestUnderEachOther) {
+  obs::ResetTraceForTest();
+  obs::internal::RecordSpan("first", 0, 1'000'000, 0, nullptr, 0);
+  obs::internal::RecordSpan("second", 2'000'000, 3'000'000, 0, nullptr, 0);
+  std::string summary = obs::TraceSummaryText();
+  EXPECT_NE(summary.find("first"), std::string::npos);
+  EXPECT_NE(summary.find("second"), std::string::npos);
+  EXPECT_EQ(summary.find("  second"), std::string::npos);  // not indented
+  obs::ResetTraceForTest();
+}
+
+TEST(SnapshotTest, OmitsUntouchedMetrics) {
+  ScopedMetricsOn metrics_on;
+  obs::ResetMetricsForTest();
+  obs::GetCounter("test.snapshot.zero");          // registered, never added
+  obs::GetGauge("test.snapshot.unset");           // registered, never set
+  obs::GetHistogram("test.snapshot.empty", {1});  // registered, no samples
+  EXPECT_EQ(obs::SnapshotJson(),
+            "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}");
+}
+
+TEST(SnapshotTest, JsonGoldenByteExact) {
+  ScopedMetricsOn metrics_on;
+  obs::ResetMetricsForTest();
+  obs::GetCounter("golden.b")->Add(3);
+  obs::GetCounter("golden.a")->Add(1);  // name-sorted, not insertion order
+  obs::GetGauge("golden.g")->Set(1.5);
+  obs::Histogram* h = obs::GetHistogram("golden.h", {1, 2});
+  h->Observe(2);
+  h->Observe(40);
+  EXPECT_EQ(
+      obs::SnapshotJson(),
+      "{\"counters\": {\"golden.a\": 1, \"golden.b\": 3}, "
+      "\"gauges\": {\"golden.g\": 1.5}, "
+      "\"histograms\": {\"golden.h\": {\"bounds\": [1, 2], "
+      "\"counts\": [0, 1, 1], \"total\": 2, \"sum\": 42}}}");
+}
+
+TEST(SnapshotTest, StructViewMatchesRecords) {
+  ScopedMetricsOn metrics_on;
+  obs::ResetMetricsForTest();
+  obs::GetCounter("test.struct.c")->Add(7);
+  obs::GetGauge("test.struct.g")->Set(0.25);
+  obs::StatsSnapshot snap = obs::Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "test.struct.c");
+  EXPECT_EQ(snap.counters[0].value, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].name, "test.struct.g");
+  EXPECT_EQ(snap.gauges[0].value, 0.25);
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(InstrumentationTest, ParallelForCountsCallsAndShards) {
+  ScopedMetricsOn metrics_on;
+  ScopedThreads threads(4);
+  const uint64_t calls = obs::ReadCounter("parallel.calls");
+  const uint64_t scheduled = obs::ReadCounter("parallel.tasks_scheduled");
+  ParallelFor(0, 4000, 1, [](size_t, size_t) {});
+  EXPECT_EQ(obs::ReadCounter("parallel.calls"), calls + 1);
+  // 4 shards -> 3 tasks handed to the pool (shard 0 runs inline).
+  EXPECT_EQ(obs::ReadCounter("parallel.tasks_scheduled"), scheduled + 3);
+}
+
+TEST(InstrumentationTest, SerialParallelForCountsAsSerial) {
+  ScopedMetricsOn metrics_on;
+  ScopedThreads threads(1);
+  const uint64_t serial = obs::ReadCounter("parallel.serial_calls");
+  ParallelFor(0, 100, 1, [](size_t, size_t) {});
+  EXPECT_EQ(obs::ReadCounter("parallel.serial_calls"), serial + 1);
+}
+
+}  // namespace
+}  // namespace gelc

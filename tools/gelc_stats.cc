@@ -1,0 +1,98 @@
+// gelc_stats: run fixed-seed workloads and print the metrics snapshot.
+//
+//   gelc_stats [wl|kwl|spmm|train|all ...]   (default: all)
+//
+// Every workload is seeded and deterministic, the registry holds only
+// deterministic quantities, and the snapshot serializes in sorted name
+// order — so for a given argument list and thread count the JSON on
+// stdout reproduces byte-for-byte across runs. (The algorithmic metrics
+// — matmul.*, spmm.*, wl.*, train.* — are identical for every thread
+// count too; only the parallel.* scheduling metrics describe the actual
+// schedule and so vary with GELC_NUM_THREADS.) The registry is reset and
+// force-enabled first, making the output independent of GELC_METRICS and
+// of anything the process did before.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "gnn/trainable.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "tensor/sparse.h"
+#include "wl/color_refinement.h"
+#include "wl/kwl.h"
+
+namespace gelc {
+namespace {
+
+void RunWlWorkload() {
+  Rng rng(11);
+  Graph a = RandomGnp(120, 0.08, &rng);
+  Graph b = RandomGnp(120, 0.08, &rng);
+  (void)RunColorRefinement({&a, &b});
+}
+
+void RunKwlWorkload() {
+  Rng rng(13);
+  Graph a = RandomGnp(18, 0.25, &rng);
+  Graph b = RandomGnp(18, 0.25, &rng);
+  RunKwl({&a, &b}, 2).IgnoreError();  // sizes are in range by construction
+}
+
+void RunSpmmWorkload() {
+  Rng rng(17);
+  Graph g = RandomGnp(400, 0.03, &rng);
+  Matrix f = Matrix::RandomUniform(400, 32, -1.0, 1.0, &rng);
+  Matrix out = SpMM(g.Csr().adjacency(), f);
+  // A dense product for the matmul.* metrics, same operand scale.
+  Matrix w = Matrix::RandomUniform(32, 32, -1.0, 1.0, &rng);
+  Matrix dense = out.MatMul(w);
+  (void)dense;
+}
+
+void RunTrainWorkload() {
+  Rng rng(19);
+  NodeDataset data = SyntheticCitations(90, 3, 0.1, &rng);
+  TrainOptions options;
+  options.epochs = 8;
+  options.hidden_widths = {8};
+  GELC_CHECK_OK(TrainNodeClassifier(data, options));
+}
+
+int Run(const std::vector<std::string>& workloads) {
+  // Independence from the caller's env and from registration order:
+  // metrics on, everything zeroed, then the workloads run.
+  obs::SetMetricsEnabled(true);
+  obs::ResetMetricsForTest();
+  for (const std::string& w : workloads) {
+    if (w == "wl" || w == "all") RunWlWorkload();
+    if (w == "kwl" || w == "all") RunKwlWorkload();
+    if (w == "spmm" || w == "all") RunSpmmWorkload();
+    if (w == "train" || w == "all") RunTrainWorkload();
+    if (w != "wl" && w != "kwl" && w != "spmm" && w != "train" &&
+        w != "all") {
+      std::fprintf(stderr,
+                   "gelc_stats: unknown workload '%s' "
+                   "(expected wl|kwl|spmm|train|all)\n",
+                   w.c_str());
+      return 2;
+    }
+  }
+  std::printf("%s\n", obs::SnapshotJson().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gelc
+
+int main(int argc, char** argv) {
+  std::vector<std::string> workloads;
+  for (int i = 1; i < argc; ++i) workloads.push_back(argv[i]);
+  if (workloads.empty()) workloads.push_back("all");
+  return gelc::Run(workloads);
+}
