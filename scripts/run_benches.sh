@@ -9,18 +9,29 @@
 # the regenerated BENCH file as a top-level "gelc_metrics" key alongside
 # google-benchmark's own "context"/"benchmarks".
 #
-# Usage: scripts/run_benches.sh [min_time] [filter-regex]
+# Usage: scripts/run_benches.sh [min_time] [filter-regex] [repetitions]
 #   min_time      --benchmark_min_time per bench (bare seconds; the
 #                 bundled benchmark version rejects an 's' suffix).
 #                 Default 0.05 — enough for stable medians on the sizes
 #                 the benches sweep without multi-hour runs.
 #   filter-regex  only regenerate BENCH files for bench names matching
 #                 this shell glob against the binary name, e.g. 'p8*'.
+#   repetitions   when > 1, run each benchmark this many times and record
+#                 only the mean/median/stddev aggregates in the JSON —
+#                 use for comparison benches (e.g. p9's batched vs
+#                 per-graph ratio) where a single run on a loaded box is
+#                 too noisy to check in. Default 1 (raw single runs).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 min_time="${1:-0.05}"
 filter="${2:-p*}"
+reps="${3:-1}"
+rep_flags=()
+if [ "$reps" -gt 1 ]; then
+  rep_flags=(--benchmark_repetitions="$reps"
+             --benchmark_report_aggregates_only=true)
+fi
 
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
@@ -37,6 +48,7 @@ for bin in build/bench/bench_p*; do
   raw="$(mktemp)"
   GELC_METRICS=1 GELC_METRICS_OUT="$snap" \
     "$bin" --benchmark_format=json --benchmark_min_time="$min_time" \
+    ${rep_flags[@]+"${rep_flags[@]}"} \
     > "$raw"
   # The benchmark JSON opens with a bare '{' on its first line; splice
   # the single-line snapshot in as the first top-level key.

@@ -1,10 +1,32 @@
 #include "autodiff/tape.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "base/alloc_tune.h"
 #include "base/logging.h"
+#include "tensor/segment.h"
 
 namespace gelc {
+
+// Tapes are the allocator churn the tuning exists for: one tape per
+// (mini)batch per epoch, each full of node-sized matrices.
+Tape::Tape() { TuneAllocForTensorChurn(); }
+
+namespace {
+
+// Segment offsets contract shared by the five segment-aware ops: k+1
+// non-decreasing entries covering [0, rows).
+void CheckSegmentOffsets(size_t rows, const std::vector<size_t>& offsets) {
+  GELC_CHECK(!offsets.empty());
+  GELC_CHECK(offsets.front() == 0);
+  GELC_CHECK(offsets.back() == rows);
+  for (size_t s = 0; s + 1 < offsets.size(); ++s) {
+    GELC_DCHECK_LE(offsets[s], offsets[s + 1]);
+  }
+}
+
+}  // namespace
 
 ValueId Tape::Push(Node n) {
   n.grad = Matrix(n.value.rows(), n.value.cols());
@@ -137,6 +159,59 @@ ValueId Tape::ColMax(ValueId a) {
   return Push(std::move(n));
 }
 
+ValueId Tape::SegmentSum(ValueId a, std::vector<size_t> offsets) {
+  Node n;
+  n.op = Op::kSegmentSum;
+  n.a = a;
+  n.value = gelc::SegmentSum(nodes_[a].value, offsets);
+  n.indices = std::move(offsets);
+  return Push(std::move(n));
+}
+
+ValueId Tape::SegmentMean(ValueId a, std::vector<size_t> offsets) {
+  Node n;
+  n.op = Op::kSegmentMean;
+  n.a = a;
+  n.value = gelc::SegmentMean(nodes_[a].value, offsets);
+  n.indices = std::move(offsets);
+  return Push(std::move(n));
+}
+
+ValueId Tape::SegmentMax(ValueId a, std::vector<size_t> offsets) {
+  Node n;
+  n.op = Op::kSegmentMax;
+  n.a = a;
+  // The kernel records the first-argmax row per (segment, column) —
+  // f.rows() sentinel for empty segments — which Backward routes by.
+  n.value = gelc::SegmentMax(nodes_[a].value, offsets, &n.indices2);
+  n.indices = std::move(offsets);
+  return Push(std::move(n));
+}
+
+ValueId Tape::MatMulSegments(ValueId a, ValueId b,
+                             std::vector<size_t> offsets) {
+  CheckSegmentOffsets(nodes_[a].value.rows(), offsets);
+  Node n;
+  n.op = Op::kMatMulSegments;
+  n.a = a;
+  n.b = b;
+  n.value = nodes_[a].value.MatMul(nodes_[b].value);
+  n.indices = std::move(offsets);
+  return Push(std::move(n));
+}
+
+ValueId Tape::AddRowBroadcastSegments(ValueId a, ValueId bias,
+                                      std::vector<size_t> offsets) {
+  CheckSegmentOffsets(nodes_[a].value.rows(), offsets);
+  Node n;
+  n.op = Op::kAddRowBroadcastSegments;
+  n.a = a;
+  n.b = bias;
+  n.value = nodes_[a].value.AddRowBroadcast(nodes_[bias].value);
+  n.indices = std::move(offsets);
+  return Push(std::move(n));
+}
+
 ValueId Tape::GatherRows(ValueId a, std::vector<size_t> rows) {
   const Matrix& in = nodes_[a].value;
   Node n;
@@ -193,10 +268,53 @@ void Tape::Backward(ValueId root) {
   GELC_CHECK(root < nodes_.size());
   GELC_CHECK(nodes_[root].value.rows() == 1 && nodes_[root].value.cols() == 1);
   nodes_[root].grad = Matrix(1, 1, 1.0);
+  // Dead-branch skip, two layers deep. (1) Reachability: a node feeds
+  // the loss iff a consumer visited earlier in the reverse sweep marked
+  // it — an O(1) flag per node, independent of the data. (2) Value: a
+  // reached node whose accumulated gradient is exactly zero contributes
+  // exactly nothing to its operands, so its backward products are
+  // skipped and its operands stay unmarked unless a live consumer marks
+  // them. The value check earns its keep: ReLU masks routinely zero
+  // whole per-graph gradient matrices mid-training, which on the
+  // molecule workloads kills most backward matmuls. IsZero early-exits
+  // at the first nonzero entry, so live nodes pay O(1); full scans only
+  // happen on matrices that really are zero, where the skipped products
+  // repay the scan many times over (its predecessor, an unconditional
+  // FrobeniusNorm, scanned every gradient on every pass and reached 24%
+  // of batched training time). Both skips are bit-exact: node grads
+  // never hold -0.0 (they start at +0.0, +0.0 + -0.0 == +0.0, and exact
+  // cancellation rounds to +0.0), so propagating an exactly-zero
+  // gradient is x += ±0.0 everywhere, which changes no bit.
+  live_.assign(static_cast<size_t>(root) + 1, 0);
+  live_[root] = 1;
   for (size_t idx = root + 1; idx-- > 0;) {
     Node& n = nodes_[idx];
     const Matrix& g = n.grad;
-    if (g.FrobeniusNorm() == 0.0 && n.op != Op::kParam) continue;
+    // Params flush their (possibly zero) accumulated grad regardless,
+    // matching the historical contract.
+    if (n.op != Op::kParam && (!live_[idx] || g.IsZero())) continue;
+    switch (n.op) {
+      case Op::kInput:
+      case Op::kParam:
+        break;  // leaves
+      case Op::kSparseMatMul:
+        live_[n.b] = 1;  // the sparse operand is a constant
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMatMul:
+      case Op::kHadamard:
+      case Op::kAddRowBroadcast:
+      case Op::kConcatCols:
+      case Op::kMatMulSegments:
+      case Op::kAddRowBroadcastSegments:
+        live_[n.a] = 1;
+        live_[n.b] = 1;
+        break;
+      default:  // unary ops: kScale, kAct, the reductions, the losses
+        live_[n.a] = 1;
+        break;
+    }
     switch (n.op) {
       case Op::kInput:
         break;
@@ -234,12 +352,14 @@ void Tape::Backward(ValueId root) {
         nodes_[n.a].grad += g * n.scalar;
         break;
       case Op::kAct: {
-        const Matrix& in = nodes_[n.a].value;
-        Matrix dg = g;
-        for (size_t i = 0; i < dg.rows(); ++i)
-          for (size_t j = 0; j < dg.cols(); ++j)
-            dg.At(i, j) *= ActivationGrad(n.act, in.At(i, j));
-        nodes_[n.a].grad += dg;
+        // Fused g ⊙ act'(in) accumulate: one pass, no temporary. Each
+        // entry still computes t = g·f then ga += t, so the bits match
+        // the copy-multiply-add formulation exactly.
+        const std::vector<double>& in = nodes_[n.a].value.data();
+        const std::vector<double>& gd = g.data();
+        std::vector<double>& ga = nodes_[n.a].grad.mutable_data();
+        for (size_t i = 0; i < ga.size(); ++i)
+          ga[i] += gd[i] * ActivationGrad(n.act, in[i]);
         break;
       }
       case Op::kAddRowBroadcast:
@@ -267,6 +387,125 @@ void Tape::Backward(ValueId root) {
         Matrix& ga = nodes_[n.a].grad;
         for (size_t j = 0; j < ga.cols(); ++j)
           ga.At(n.indices[j], j) += g.At(0, j);
+        break;
+      }
+      case Op::kSegmentSum: {
+        Matrix& ga = nodes_[n.a].grad;
+        for (size_t s = 0; s + 1 < n.indices.size(); ++s)
+          for (size_t i = n.indices[s]; i < n.indices[s + 1]; ++i)
+            for (size_t j = 0; j < ga.cols(); ++j)
+              ga.At(i, j) += g.At(s, j);
+        break;
+      }
+      case Op::kSegmentMean: {
+        Matrix& ga = nodes_[n.a].grad;
+        for (size_t s = 0; s + 1 < n.indices.size(); ++s) {
+          size_t count = n.indices[s + 1] - n.indices[s];
+          if (count == 0) continue;
+          double inv = 1.0 / static_cast<double>(count);
+          for (size_t i = n.indices[s]; i < n.indices[s + 1]; ++i)
+            for (size_t j = 0; j < ga.cols(); ++j)
+              ga.At(i, j) += g.At(s, j) * inv;
+        }
+        break;
+      }
+      case Op::kSegmentMax: {
+        Matrix& ga = nodes_[n.a].grad;
+        size_t cols = ga.cols();
+        for (size_t s = 0; s + 1 < n.indices.size(); ++s) {
+          for (size_t j = 0; j < cols; ++j) {
+            size_t row = n.indices2[s * cols + j];
+            if (row < ga.rows()) ga.At(row, j) += g.At(s, j);
+          }
+        }
+        break;
+      }
+      case Op::kMatMulSegments: {
+        // da = g · bᵀ touches each row independently — same as kMatMul.
+        g.MatMulInto(nodes_[n.b].value.Transposed(), &matmul_scratch_);
+        nodes_[n.a].grad += matmul_scratch_;
+        // db = aᵀ · g accumulated one segment at a time: the partial
+        // product aᵀ_s · g_s is formed from zero (rows ascending, the
+        // MatMulImpl i-k-j chain) and added whole, reproducing the
+        // association of per-segment tapes run back to back bit-for-bit.
+        const Matrix& av = nodes_[n.a].value;
+        Matrix& gb = nodes_[n.b].grad;
+        size_t din = av.cols();
+        size_t dout = g.cols();
+        for (size_t s = 0; s + 1 < n.indices.size(); ++s) {
+          size_t begin = n.indices[s];
+          size_t end = n.indices[s + 1];
+          if (begin == end) continue;
+          if (segment_scratch_.rows() == din &&
+              segment_scratch_.cols() == dout) {
+            std::fill(segment_scratch_.mutable_data().begin(),
+                      segment_scratch_.mutable_data().end(), 0.0);
+          } else {
+            segment_scratch_ = Matrix(din, dout);
+          }
+          // v-outer order streams each row of `a` and `g` exactly once
+          // (the h-outer alternative re-reads both matrices din times,
+          // with strided column access into `a`), and v is unrolled by 4
+          // so each scratch cell is read and written once per four rows
+          // instead of once per row. Per scratch cell (h, j) the
+          // additions still happen one at a time in ascending-v order
+          // (sequential rounding steps through a register), so the
+          // partial product's bits are unchanged.
+          const double* av_data = av.data().data();
+          const double* g_data = g.data().data();
+          double* scratch = segment_scratch_.mutable_data().data();
+          size_t v = begin;
+          for (; v + 4 <= end; v += 4) {
+            const double* a0 = &av_data[v * din];
+            const double* a1 = a0 + din;
+            const double* a2 = a1 + din;
+            const double* a3 = a2 + din;
+            const double* g0 = &g_data[v * dout];
+            const double* g1 = g0 + dout;
+            const double* g2 = g1 + dout;
+            const double* g3 = g2 + dout;
+            for (size_t h = 0; h < din; ++h) {
+              double* orow = &scratch[h * dout];
+              for (size_t j = 0; j < dout; ++j) {
+                double t = orow[j];
+                t += a0[h] * g0[j];
+                t += a1[h] * g1[j];
+                t += a2[h] * g2[j];
+                t += a3[h] * g3[j];
+                orow[j] = t;
+              }
+            }
+          }
+          for (; v < end; ++v) {
+            const double* arow = &av_data[v * din];
+            const double* grow = &g_data[v * dout];
+            for (size_t h = 0; h < din; ++h) {
+              double a_vh = arow[h];
+              double* orow = &scratch[h * dout];
+              for (size_t j = 0; j < dout; ++j) orow[j] += a_vh * grow[j];
+            }
+          }
+          gb += segment_scratch_;
+        }
+        break;
+      }
+      case Op::kAddRowBroadcastSegments: {
+        nodes_[n.a].grad += g;
+        // Bias gradient: per-segment column sums (rows ascending from
+        // zero, the ColSums chain), each added whole — see
+        // kMatMulSegments for why the association matters.
+        Matrix& gb = nodes_[n.b].grad;
+        size_t cols = gb.cols();
+        std::vector<double> partial(cols);
+        for (size_t s = 0; s + 1 < n.indices.size(); ++s) {
+          size_t begin = n.indices[s];
+          size_t end = n.indices[s + 1];
+          if (begin == end) continue;
+          std::fill(partial.begin(), partial.end(), 0.0);
+          for (size_t i = begin; i < end; ++i)
+            for (size_t j = 0; j < cols; ++j) partial[j] += g.At(i, j);
+          for (size_t j = 0; j < cols; ++j) gb.At(0, j) += partial[j];
+        }
         break;
       }
       case Op::kGatherRows: {

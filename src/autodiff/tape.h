@@ -43,7 +43,7 @@ using ValueId = uint32_t;
 /// once, read gradients. Reuse by constructing a fresh Tape per step.
 class Tape {
  public:
-  Tape() = default;
+  Tape();
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
@@ -75,6 +75,32 @@ class Tape {
   ValueId ColSums(ValueId a);
   /// Column-wise max with subgradient routed to (first) argmax rows.
   ValueId ColMax(ValueId a);
+  /// Per-segment column sums (batched readout): rows
+  /// [offsets[s], offsets[s+1]) of `a` reduce to output row s. `offsets`
+  /// must be non-decreasing with offsets.front() == 0 and offsets.back()
+  /// == a's row count; empty segments yield zero rows. Row s of the
+  /// result carries the same bits as ColSums of that block alone.
+  ValueId SegmentSum(ValueId a, std::vector<size_t> offsets);
+  /// Per-segment column means; empty segments yield zero rows.
+  ValueId SegmentMean(ValueId a, std::vector<size_t> offsets);
+  /// Per-segment column max with subgradient routed to the (first)
+  /// argmax row of each segment; empty segments yield zero rows and
+  /// receive no gradient.
+  ValueId SegmentMax(ValueId a, std::vector<size_t> offsets);
+  /// Matrix product whose forward value is exactly MatMul(a, b), but
+  /// whose backward pass accumulates b's gradient one row segment of `a`
+  /// at a time: each segment's partial product aᵀ_s · g_s is formed from
+  /// zero and added whole. Building a batch forward with this op makes
+  /// the accumulated parameter gradient bit-identical to running the
+  /// per-segment (per-graph) tapes one after another — the floating-point
+  /// association matches, not just the real-number sum (DESIGN.md
+  /// "Batched execution").
+  ValueId MatMulSegments(ValueId a, ValueId b, std::vector<size_t> offsets);
+  /// AddRowBroadcast whose backward accumulates the bias gradient one
+  /// row segment at a time (per-segment column sums added whole), the
+  /// bias-row analogue of MatMulSegments.
+  ValueId AddRowBroadcastSegments(ValueId a, ValueId bias,
+                                  std::vector<size_t> offsets);
   /// Keeps only the given rows (gather): n x d -> |rows| x d.
   ValueId GatherRows(ValueId a, std::vector<size_t> rows);
 
@@ -106,6 +132,11 @@ class Tape {
     kConcatCols,
     kColSums,
     kColMax,
+    kSegmentSum,
+    kSegmentMean,
+    kSegmentMax,
+    kMatMulSegments,
+    kAddRowBroadcastSegments,
     kGatherRows,
     kSoftmaxXent,
     kMse,
@@ -120,8 +151,9 @@ class Tape {
     // Op-specific payloads.
     double scalar = 0.0;
     Activation act = Activation::kIdentity;
-    std::vector<size_t> indices;  // labels / gather rows
-    Matrix aux;                   // cached softmax / target
+    std::vector<size_t> indices;   // labels / gather rows / segment offsets
+    std::vector<size_t> indices2;  // kSegmentMax per-(segment,col) argmax
+    Matrix aux;                    // cached softmax / target
     Parameter* param = nullptr;
     const CsrMatrix* csr = nullptr;    // kSparseMatMul forward operand
     const CsrMatrix* csr_t = nullptr;  // its transpose (backward operand)
@@ -133,6 +165,10 @@ class Tape {
   // Reused by Backward's MatMul gradient products (MatMulInto) so the
   // backward pass does not allocate a fresh matrix per product.
   Matrix matmul_scratch_;
+  // Reused by kMatMulSegments' per-segment partial products.
+  Matrix segment_scratch_;
+  // Reused by Backward's reachability marks (one byte per node).
+  std::vector<unsigned char> live_;
 };
 
 }  // namespace gelc

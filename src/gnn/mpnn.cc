@@ -5,6 +5,7 @@
 
 #include "base/logging.h"
 #include "base/parallel.h"
+#include "tensor/segment.h"
 #include "tensor/sparse.h"
 
 namespace gelc {
@@ -32,12 +33,17 @@ constexpr size_t kAggShardWork = size_t{1} << 15;
 
 Matrix AggregateNeighbors(const Graph& g, const Matrix& f, Aggregation agg) {
   GELC_CHECK(f.rows() == g.num_vertices());
+  return AggregateNeighbors(g.Csr().adjacency(), f, agg);
+}
+
+Matrix AggregateNeighbors(const CsrMatrix& a, const Matrix& f,
+                          Aggregation agg) {
+  GELC_CHECK(f.rows() == a.rows);
   size_t n = f.rows();
   size_t d = f.cols();
   // CSR rows are each vertex's ascending neighbor list; every output row
   // is owned by one shard and accumulated in that fixed order, so the
   // result is bit-identical for any thread count.
-  const CsrMatrix& a = g.Csr().adjacency();
   Matrix out(n, d);
   const double* fdata = f.data().data();
   double* odata = out.mutable_data().data();
@@ -159,6 +165,44 @@ Result<Matrix> MpnnModel::GraphEmbedding(const Graph& g) const {
   }
   GELC_ASSIGN_OR_RETURN(Matrix f, VertexEmbeddings(g));
   return readout_->mlp.Forward(PoolVertices(f, readout_->pool));
+}
+
+Result<Matrix> MpnnModel::VertexEmbeddings(const GraphBatch& batch) const {
+  if (batch.feature_dim() != input_dim()) {
+    return Status::InvalidArgument("batch feature dim does not match model");
+  }
+  // One aggregation pass over the block-diagonal adjacency per layer;
+  // the update MLP is row-local, so every block matches the standalone
+  // forward bit-for-bit.
+  Matrix f = batch.features();
+  for (const MpnnLayer& l : layers_) {
+    Matrix agg = AggregateNeighbors(batch.adjacency(), f, l.agg);
+    f = l.update.Forward(f.ConcatCols(agg));
+  }
+  return f;
+}
+
+Result<Matrix> MpnnModel::GraphEmbeddings(const GraphBatch& batch) const {
+  if (!readout_.has_value()) {
+    return Status::FailedPrecondition("model has no readout");
+  }
+  GELC_ASSIGN_OR_RETURN(Matrix f, VertexEmbeddings(batch));
+  // Segment pooling reduces each block with the same accumulation chain
+  // as PoolVertices over that block alone; the readout MLP is row-local.
+  const std::vector<size_t>& offsets = batch.vertex_offsets();
+  Matrix pooled;
+  switch (readout_->pool) {
+    case Aggregation::kSum:
+      pooled = SegmentSum(f, offsets);
+      break;
+    case Aggregation::kMean:
+      pooled = SegmentMean(f, offsets);
+      break;
+    case Aggregation::kMax:
+      pooled = SegmentMax(f, offsets);
+      break;
+  }
+  return readout_->mlp.Forward(pooled);
 }
 
 GinModel::GinModel(std::vector<GinLayer> layers, Mlp readout_mlp)

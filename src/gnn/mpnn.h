@@ -18,7 +18,9 @@
 #include "base/rng.h"
 #include "base/status.h"
 #include "gnn/mlp.h"
+#include "graph/batch.h"
 #include "graph/graph.h"
+#include "tensor/sparse.h"
 
 namespace gelc {
 
@@ -31,6 +33,13 @@ const char* AggregationName(Aggregation agg);
 /// aggregates the rows {f_u : u ∈ N(v)}. Vertices without neighbors
 /// aggregate to the zero row (for kMax as well, by convention).
 Matrix AggregateNeighbors(const Graph& g, const Matrix& f, Aggregation agg);
+
+/// The same aggregation over an explicit CSR adjacency operator (row v =
+/// v's neighbor list, ascending). This is the batched entry point: a
+/// GraphBatch's block-diagonal adjacency() aggregates every member graph
+/// in one pass, bit-identical per block to the per-graph call.
+Matrix AggregateNeighbors(const CsrMatrix& adjacency, const Matrix& f,
+                          Aggregation agg);
 
 /// Pools all vertex rows into one row (the readout aggregate, slide 40).
 Matrix PoolVertices(const Matrix& f, Aggregation pool);
@@ -63,6 +72,12 @@ class MpnnModel {
 
   Result<Matrix> VertexEmbeddings(const Graph& g) const;
   Result<Matrix> GraphEmbedding(const Graph& g) const;
+  /// Batched forward over a block-diagonal GraphBatch; block i of the
+  /// result is bit-identical to VertexEmbeddings on member graph i.
+  Result<Matrix> VertexEmbeddings(const GraphBatch& batch) const;
+  /// Batched readout: row i is bit-identical to GraphEmbedding on member
+  /// graph i (segment-pooled per block, then the readout MLP row-wise).
+  Result<Matrix> GraphEmbeddings(const GraphBatch& batch) const;
 
   size_t num_layers() const { return layers_.size(); }
   size_t input_dim() const { return layers_.front().update.in_dim() / 2; }

@@ -58,13 +58,18 @@ Result<std::unique_ptr<TrainableGnn>> TrainableGnn::Create(
 }
 
 ValueId TrainableGnn::VertexEmbeddings(Tape* tape, const Graph& g) const {
-  GELC_CHECK(g.feature_dim() == config_.widths.front());
-  ValueId f = tape->Input(g.features());
   // The graph's cached CSR handle is shared by every tape built over g
-  // during training — no per-step adjacency materialization at all
-  // (previously this rebuilt a dense n x n Input each forward call). The
-  // graph must outlive the tape and stay unmutated while it is in use.
-  const CsrGraph& csr = g.Csr();
+  // during training — no per-step adjacency materialization at all. The
+  // epoch loops hoist this call and use the CSR overload directly so not
+  // even the cache lookup repeats per epoch.
+  return VertexEmbeddings(tape, g, g.Csr());
+}
+
+ValueId TrainableGnn::VertexEmbeddings(Tape* tape, const Graph& g,
+                                       const CsrGraph& csr) const {
+  GELC_CHECK(g.feature_dim() == config_.widths.front());
+  GELC_CHECK(csr.num_vertices() == g.num_vertices());
+  ValueId f = tape->Input(g.features());
   for (const auto& layer : layers_) {
     ValueId self = tape->MatMul(f, tape->Param(&layer->w1));
     ValueId agg = tape->SparseMatMul(&csr.adjacency(), &csr.transpose(), f);
@@ -76,8 +81,36 @@ ValueId TrainableGnn::VertexEmbeddings(Tape* tape, const Graph& g) const {
   return f;
 }
 
+ValueId TrainableGnn::VertexEmbeddings(Tape* tape,
+                                       const GraphBatch& batch) const {
+  GELC_CHECK(batch.feature_dim() == config_.widths.front());
+  // Same layer structure as the single-graph path over the
+  // block-diagonal operators. Message passing cannot cross a block
+  // boundary, so each block of the result is bit-identical to the
+  // standalone forward; the segmented tape ops make the *backward* pass
+  // accumulate layer-parameter gradients one block at a time, matching
+  // per-graph tapes bit-for-bit as well.
+  const std::vector<size_t>& offsets = batch.vertex_offsets();
+  ValueId f = tape->Input(batch.features());
+  for (const auto& layer : layers_) {
+    ValueId self = tape->MatMulSegments(f, tape->Param(&layer->w1), offsets);
+    ValueId agg =
+        tape->SparseMatMul(&batch.adjacency(), &batch.transpose(), f);
+    ValueId nbr = tape->MatMulSegments(agg, tape->Param(&layer->w2), offsets);
+    ValueId pre = tape->AddRowBroadcastSegments(
+        tape->Add(self, nbr), tape->Param(&layer->b), offsets);
+    f = tape->Act(config_.act, pre);
+  }
+  return f;
+}
+
 ValueId TrainableGnn::NodeLogits(Tape* tape, const Graph& g) const {
-  ValueId z = VertexEmbeddings(tape, g);
+  return NodeLogits(tape, g, g.Csr());
+}
+
+ValueId TrainableGnn::NodeLogits(Tape* tape, const Graph& g,
+                                 const CsrGraph& csr) const {
+  ValueId z = VertexEmbeddings(tape, g, csr);
   return tape->AddRowBroadcast(tape->MatMul(z, tape->Param(head_w_.get())),
                                tape->Param(head_b_.get()));
 }
@@ -90,10 +123,30 @@ ValueId TrainableGnn::GraphLogits(Tape* tape, const Graph& g) const {
       tape->Param(head_b_.get()));
 }
 
+ValueId TrainableGnn::GraphLogits(Tape* tape, const GraphBatch& batch) const {
+  GELC_TRACE_SPAN("gnn.batch", {{"graphs", batch.num_graphs()},
+                                {"vertices", batch.num_vertices()},
+                                {"arcs", batch.num_arcs()}});
+  ValueId z = VertexEmbeddings(tape, batch);
+  // Row s of pooled carries the same bits as ColSums over block s alone.
+  // The head is row-local per pooled row (one row per graph), so the
+  // plain ops already accumulate head gradients in per-graph order.
+  ValueId pooled = tape->SegmentSum(z, batch.vertex_offsets());
+  return tape->AddRowBroadcast(
+      tape->MatMul(pooled, tape->Param(head_w_.get())),
+      tape->Param(head_b_.get()));
+}
+
 ValueId TrainableGnn::PairLogits(
     Tape* tape, const Graph& g,
     const std::vector<std::pair<VertexId, VertexId>>& pairs) const {
-  ValueId z = VertexEmbeddings(tape, g);
+  return PairLogits(tape, g, g.Csr(), pairs);
+}
+
+ValueId TrainableGnn::PairLogits(
+    Tape* tape, const Graph& g, const CsrGraph& csr,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs) const {
+  ValueId z = VertexEmbeddings(tape, g, csr);
   std::vector<size_t> us, vs;
   us.reserve(pairs.size());
   vs.reserve(pairs.size());
@@ -159,6 +212,10 @@ Result<TrainReport> TrainNodeClassifier(const NodeDataset& data,
   std::vector<size_t> train_labels;
   for (size_t v : data.train_nodes) train_labels.push_back(data.labels[v]);
 
+  // One CSR lookup for the whole run: every epoch tape (and the eval
+  // tape) reuses this view instead of re-querying Graph::Csr().
+  const CsrGraph& csr = data.graph.Csr();
+
   TrainReport report;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     GELC_TRACE_SPAN("train.epoch", {{"epoch", epoch}});
@@ -166,7 +223,7 @@ Result<TrainReport> TrainNodeClassifier(const NodeDataset& data,
     ValueId loss;
     {
       GELC_TRACE_SPAN("train.forward");
-      ValueId logits = model->NodeLogits(&tape, data.graph);
+      ValueId logits = model->NodeLogits(&tape, data.graph, csr);
       ValueId train_logits = tape.GatherRows(logits, data.train_nodes);
       loss = tape.SoftmaxCrossEntropy(train_logits, train_labels);
     }
@@ -186,7 +243,7 @@ Result<TrainReport> TrainNodeClassifier(const NodeDataset& data,
 
   // Evaluation pass.
   Tape tape;
-  ValueId logits = model->NodeLogits(&tape, data.graph);
+  ValueId logits = model->NodeLogits(&tape, data.graph, csr);
   std::vector<size_t> pred = RowArgmax(tape.value(logits));
   std::vector<size_t> train_pred, test_pred, test_labels;
   for (size_t v : data.train_nodes) train_pred.push_back(pred[v]);
@@ -218,44 +275,89 @@ Result<TrainReport> TrainGraphClassifier(const GraphDataset& data,
       train_fraction * static_cast<double>(data.graphs.size()));
   train_count = std::max<size_t>(1, std::min(train_count, data.graphs.size()));
 
+  // Pre-pack the training split into block-diagonal minibatches once —
+  // the graphs are immutable across epochs, so every epoch reuses the
+  // same packed CSR operators and builds one tape per minibatch instead
+  // of one per graph.
+  size_t batch_size = options.batch_size == 0
+                          ? train_count
+                          : std::min(options.batch_size, train_count);
+  struct Minibatch {
+    GraphBatch batch;
+    std::vector<size_t> labels;
+  };
+  std::vector<Minibatch> minibatches;
+  for (size_t lo = 0; lo < train_count; lo += batch_size) {
+    size_t hi = std::min(lo + batch_size, train_count);
+    std::vector<const Graph*> members;
+    std::vector<size_t> labels;
+    for (size_t i = lo; i < hi; ++i) {
+      members.push_back(&data.graphs[i]);
+      labels.push_back(data.labels[i]);
+    }
+    GELC_ASSIGN_OR_RETURN(GraphBatch batch, GraphBatch::Create(members));
+    minibatches.push_back(Minibatch{std::move(batch), std::move(labels)});
+  }
+
   TrainReport report;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     GELC_TRACE_SPAN("train.epoch", {{"epoch", epoch}});
-    double epoch_loss = 0.0;
+    double epoch_loss_sum = 0.0;
+    double last_batch_mean = 0.0;
     opt.ZeroGrad();
-    for (size_t i = 0; i < train_count; ++i) {
+    for (const Minibatch& mb : minibatches) {
+      size_t k = mb.batch.num_graphs();
       Tape tape;
       ValueId loss;
       {
         GELC_TRACE_SPAN("train.forward");
-        ValueId logits = model->GraphLogits(&tape, data.graphs[i]);
-        loss = tape.SoftmaxCrossEntropy(logits, {data.labels[i]});
+        ValueId logits = model->GraphLogits(&tape, mb.batch);
+        loss = tape.SoftmaxCrossEntropy(logits, mb.labels);
       }
+      // SoftmaxCrossEntropy averages over the k batch rows; scaling the
+      // root by k restores the sum-of-per-graph-gradients semantics the
+      // per-graph loop had (one optimizer step per epoch, gradients
+      // summed over the whole training split regardless of batch size).
+      ValueId scaled = tape.Scale(loss, static_cast<double>(k));
       {
         GELC_TRACE_SPAN("train.backward");
-        tape.Backward(loss);
+        tape.Backward(scaled);
       }
-      epoch_loss += tape.value(loss).At(0, 0);
+      last_batch_mean = tape.value(loss).At(0, 0);
+      epoch_loss_sum += tape.value(scaled).At(0, 0);
     }
     {
       GELC_TRACE_SPAN("train.step");
       opt.Step();
     }
-    double mean_loss = epoch_loss / static_cast<double>(train_count);
+    // With a single minibatch its cross-entropy already is the mean over
+    // the training split; reporting it directly keeps the loss history
+    // bit-identical to the historical per-graph loop.
+    double mean_loss = minibatches.size() == 1
+                           ? last_batch_mean
+                           : epoch_loss_sum /
+                                 static_cast<double>(train_count);
     RecordEpoch(mean_loss);
     report.loss_history.push_back(mean_loss);
   }
 
+  // Batched evaluation: one forward over the whole dataset; row i of the
+  // logits is bit-identical to the per-graph forward of graph i.
+  std::vector<const Graph*> all_graphs;
+  all_graphs.reserve(data.graphs.size());
+  for (const Graph& g : data.graphs) all_graphs.push_back(&g);
+  GELC_ASSIGN_OR_RETURN(GraphBatch eval_batch,
+                        GraphBatch::Create(all_graphs));
+  Tape eval_tape;
+  ValueId logits = model->GraphLogits(&eval_tape, eval_batch);
+  std::vector<size_t> pred = RowArgmax(eval_tape.value(logits));
   std::vector<size_t> train_pred, train_truth, test_pred, test_truth;
   for (size_t i = 0; i < data.graphs.size(); ++i) {
-    Tape tape;
-    ValueId logits = model->GraphLogits(&tape, data.graphs[i]);
-    size_t pred = RowArgmax(tape.value(logits))[0];
     if (i < train_count) {
-      train_pred.push_back(pred);
+      train_pred.push_back(pred[i]);
       train_truth.push_back(data.labels[i]);
     } else {
-      test_pred.push_back(pred);
+      test_pred.push_back(pred[i]);
       test_truth.push_back(data.labels[i]);
     }
   }
@@ -278,6 +380,9 @@ Result<TrainReport> TrainLinkPredictor(const LinkDataset& data,
   Adam opt(options.learning_rate);
   for (Parameter* p : model->Parameters()) opt.Register(p);
 
+  // One CSR lookup for the whole run (see TrainNodeClassifier).
+  const CsrGraph& csr = data.graph.Csr();
+
   TrainReport report;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     GELC_TRACE_SPAN("train.epoch", {{"epoch", epoch}});
@@ -285,7 +390,8 @@ Result<TrainReport> TrainLinkPredictor(const LinkDataset& data,
     ValueId loss;
     {
       GELC_TRACE_SPAN("train.forward");
-      ValueId logits = model->PairLogits(&tape, data.graph, data.train_pairs);
+      ValueId logits =
+          model->PairLogits(&tape, data.graph, csr, data.train_pairs);
       loss = tape.SoftmaxCrossEntropy(logits, data.train_labels);
     }
     opt.ZeroGrad();
@@ -305,7 +411,7 @@ Result<TrainReport> TrainLinkPredictor(const LinkDataset& data,
   auto eval = [&](const std::vector<std::pair<VertexId, VertexId>>& pairs,
                   const std::vector<size_t>& labels) {
     Tape tape;
-    ValueId logits = model->PairLogits(&tape, data.graph, pairs);
+    ValueId logits = model->PairLogits(&tape, data.graph, csr, pairs);
     return Accuracy(RowArgmax(tape.value(logits)), labels);
   };
   report.train_accuracy = eval(data.train_pairs, data.train_labels);

@@ -248,6 +248,32 @@ void RuleDenseAdjacency(const FileContext& ctx, std::vector<Diagnostic>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// segment-boundary-indexing: GNN code must not index into a GraphBatch's
+// backing vectors by hand (`batch.segment_ids()[v]`,
+// `batch.vertex_offsets()[i]`, or arithmetic over them) — off-by-one
+// block math silently reads a neighboring graph's rows. The accessors
+// (graph_offset / graph_size / segment_of / Slice) carry the bounds
+// checks and are the only sanctioned way to cross a segment boundary.
+// ---------------------------------------------------------------------------
+void RuleSegmentIndexing(const FileContext& ctx,
+                         std::vector<Diagnostic>* out) {
+  if (!PathHasComponent(ctx.path, "gnn")) return;
+  const Tokens& t = ctx.lex->tokens;
+  for (size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    if (t[i].text != "segment_ids" && t[i].text != "vertex_offsets") continue;
+    if (t[i + 1].Is("(") && t[i + 2].Is(")") && t[i + 3].Is("[")) {
+      Report(ctx, t[i].line, "segment-boundary-indexing",
+             t[i].text +
+                 "()[...] under src/gnn indexes across segment boundaries "
+                 "by hand; use the GraphBatch accessors "
+                 "(graph_offset/graph_size/segment_of/Slice) instead",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // unchecked-status: a full-statement call to a Status/Result-returning
 // function whose value is discarded — either a bare `Foo(...);` statement
 // or a `(void)Foo(...)` cast. Compile-time [[nodiscard]] catches the
@@ -381,6 +407,7 @@ void RuleUncheckedStatus(const FileContext& ctx,
 const std::vector<std::string>& AllRuleNames() {
   static const std::vector<std::string> kNames = {
       "unchecked-status",  "dense-adjacency-in-hot-path",
+      "segment-boundary-indexing",
       "raw-thread",        "adhoc-timing",
       "nondeterminism",    "banned-alloc",
       "include-hygiene",
@@ -392,6 +419,7 @@ std::vector<Diagnostic> RunAllRules(const FileContext& ctx) {
   std::vector<Diagnostic> out;
   RuleUncheckedStatus(ctx, &out);
   RuleDenseAdjacency(ctx, &out);
+  RuleSegmentIndexing(ctx, &out);
   RuleRawThread(ctx, &out);
   RuleAdhocTiming(ctx, &out);
   RuleNondeterminism(ctx, &out);

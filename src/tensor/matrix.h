@@ -105,6 +105,11 @@ class Matrix {
   Matrix ColMax() const;
   /// Frobenius norm.
   double FrobeniusNorm() const;
+  /// True if every entry is exactly zero (either sign). Early-exits on
+  /// the first nonzero entry, so testing a live matrix is O(1) — unlike
+  /// FrobeniusNorm() == 0.0, which always scans everything and reads
+  /// all-subnormal matrices as zero (x*x underflows).
+  bool IsZero() const;
   /// Max |a_ij - b_ij|; matrices must have equal shape.
   double MaxAbsDiff(const Matrix& other) const;
 

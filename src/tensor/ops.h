@@ -6,6 +6,8 @@
 #ifndef GELC_TENSOR_OPS_H_
 #define GELC_TENSOR_OPS_H_
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "base/status.h"
@@ -24,11 +26,51 @@ enum class Activation {
   kClippedReLU,
 };
 
-/// Applies `act` to a scalar.
-double ApplyActivation(Activation act, double x);
+/// Applies `act` to a scalar. Defined inline: the forward/backward
+/// entrywise loops call this once per matrix element from other
+/// translation units, and without LTO an out-of-line definition costs a
+/// call + switch per element on the hottest passes in training.
+inline double ApplyActivation(Activation act, double x) {
+  switch (act) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kReLU:
+      return x > 0.0 ? x : 0.0;
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kSign:
+      return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0);
+    case Activation::kClippedReLU:
+      return std::min(1.0, std::max(0.0, x));
+  }
+  return x;
+}
 
-/// Derivative of `act` at x (subgradient 0 at kinks).
-double ActivationGrad(Activation act, double x);
+/// Derivative of `act` at x (subgradient 0 at kinks). Inline for the
+/// same reason as ApplyActivation.
+inline double ActivationGrad(Activation act, double x) {
+  switch (act) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kReLU:
+      return x > 0.0 ? 1.0 : 0.0;
+    case Activation::kSigmoid: {
+      double s = 1.0 / (1.0 + std::exp(-x));
+      return s * (1.0 - s);
+    }
+    case Activation::kTanh: {
+      double t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+    case Activation::kSign:
+      return 0.0;
+    case Activation::kClippedReLU:
+      return (x > 0.0 && x < 1.0) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
 
 /// Applies `act` entrywise.
 Matrix ApplyActivation(Activation act, const Matrix& m);

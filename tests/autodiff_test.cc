@@ -215,6 +215,154 @@ TEST(TapeTest, GradientAccumulatesForSharedParam) {
   EXPECT_NEAR(w.grad.At(0, 0), 8.0, 1e-12);
 }
 
+TEST(TapeTest, SegmentOpsForwardMatchPerBlockColumnOps) {
+  Rng rng(37);
+  Matrix x = Matrix::RandomGaussian(6, 3, 1.0, &rng);
+  // Four segments, the second empty.
+  std::vector<size_t> offsets = {0, 2, 2, 5, 6};
+  Tape t;
+  ValueId ix = t.Input(x);
+  Matrix sum = t.value(t.SegmentSum(ix, offsets));
+  Matrix mean = t.value(t.SegmentMean(ix, offsets));
+  Matrix mx = t.value(t.SegmentMax(ix, offsets));
+  ASSERT_EQ(sum.rows(), 4u);
+  for (size_t s = 0; s < 4; ++s) {
+    size_t rows = offsets[s + 1] - offsets[s];
+    if (rows == 0) {
+      // Empty segments pool to zero rows, max included.
+      EXPECT_EQ(sum.Row(s), Matrix(1, 3));
+      EXPECT_EQ(mean.Row(s), Matrix(1, 3));
+      EXPECT_EQ(mx.Row(s), Matrix(1, 3));
+      continue;
+    }
+    Matrix block(rows, 3);
+    for (size_t r = 0; r < rows; ++r)
+      for (size_t c = 0; c < 3; ++c)
+        block.At(r, c) = x.At(offsets[s] + r, c);
+    // Bit-for-bit the whole-matrix column reductions of the block alone.
+    EXPECT_EQ(sum.Row(s), block.ColSums());
+    EXPECT_EQ(mean.Row(s), block.ColMeans());
+    EXPECT_EQ(mx.Row(s), block.ColMax());
+  }
+}
+
+TEST(TapeTest, GradThroughSegmentSumAndMean) {
+  Rng rng(41);
+  Parameter w(Matrix::RandomGaussian(3, 2, 0.5, &rng));
+  Matrix x = Matrix::RandomGaussian(6, 3, 1.0, &rng);
+  std::vector<size_t> offsets = {0, 2, 2, 5, 6};  // empty middle segment
+  Matrix target = Matrix::RandomGaussian(4, 2, 1.0, &rng);
+  for (bool mean : {false, true}) {
+    auto build = [&](Tape* t) {
+      ValueId h = t->MatMul(t->Input(x), t->Param(&w));
+      ValueId pooled =
+          mean ? t->SegmentMean(h, offsets) : t->SegmentSum(h, offsets);
+      return t->Mse(pooled, target);
+    };
+    CheckGradient(
+        &w,
+        [&]() {
+          Tape t;
+          return t.value(build(&t)).At(0, 0);
+        },
+        [&]() {
+          Tape t;
+          t.Backward(build(&t));
+        });
+  }
+}
+
+TEST(TapeTest, GradThroughSegmentMax) {
+  // Values chosen so each segment's argmaxes are unique and stable under
+  // the finite-difference probe (cf. GradThroughColMax).
+  Parameter w(Matrix({{2.0, -1.0}, {0.5, 3.0}}));
+  Matrix x = {{1, 0}, {0, 1}, {2, 2}, {3, 0}, {0, 2}};
+  std::vector<size_t> offsets = {0, 3, 5};
+  Matrix target(2, 2);
+
+  auto build = [&](Tape* t) {
+    ValueId h = t->MatMul(t->Input(x), t->Param(&w));
+    return t->Mse(t->SegmentMax(h, offsets), target);
+  };
+  CheckGradient(
+      &w,
+      [&]() {
+        Tape t;
+        return t.value(build(&t)).At(0, 0);
+      },
+      [&]() {
+        Tape t;
+        t.Backward(build(&t));
+      });
+}
+
+TEST(TapeTest, SegmentMaxTieRoutesGradientToFirstArgmax) {
+  // Each segment holds an exact two-way tie per column; the subgradient
+  // convention routes all of it to the first argmax row.
+  Parameter w(Matrix({{1.0, 3.0}, {1.0, 3.0}, {2.0, 5.0}, {2.0, 5.0}}));
+  std::vector<size_t> offsets = {0, 2, 4};
+  Tape t;
+  ValueId mx = t.SegmentMax(t.Param(&w), offsets);
+  w.ZeroGrad();
+  t.Backward(t.Mse(mx, Matrix(2, 2)));
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_NE(w.grad.At(0, c), 0.0) << "col " << c;
+    EXPECT_EQ(w.grad.At(1, c), 0.0) << "col " << c;
+    EXPECT_NE(w.grad.At(2, c), 0.0) << "col " << c;
+    EXPECT_EQ(w.grad.At(3, c), 0.0) << "col " << c;
+  }
+}
+
+TEST(TapeTest, SegmentedMatMulAndBiasMatchPlainOps) {
+  Rng rng(43);
+  Parameter w(Matrix::RandomGaussian(3, 2, 0.5, &rng));
+  Parameter b(Matrix::RandomGaussian(1, 2, 0.5, &rng));
+  Matrix x = Matrix::RandomGaussian(6, 3, 1.0, &rng);
+  std::vector<size_t> offsets = {0, 2, 2, 5, 6};
+  Matrix target = Matrix::RandomGaussian(6, 2, 1.0, &rng);
+
+  auto build = [&](Tape* t, bool segmented) {
+    ValueId ix = t->Input(x);
+    ValueId h = segmented ? t->MatMulSegments(ix, t->Param(&w), offsets)
+                          : t->MatMul(ix, t->Param(&w));
+    ValueId out = segmented
+                      ? t->AddRowBroadcastSegments(h, t->Param(&b), offsets)
+                      : t->AddRowBroadcast(h, t->Param(&b));
+    return t->Mse(out, target);
+  };
+  // Forward values are bitwise those of the plain ops.
+  {
+    Tape plain, seg;
+    EXPECT_EQ(plain.value(build(&plain, false)),
+              seg.value(build(&seg, true)));
+  }
+  for (Parameter* p : {&w, &b}) {
+    CheckGradient(
+        p,
+        [&]() {
+          Tape t;
+          return t.value(build(&t, true)).At(0, 0);
+        },
+        [&]() {
+          Tape t;
+          t.Backward(build(&t, true));
+        });
+  }
+  // The segmented backward computes the same real-valued gradients, just
+  // accumulated per segment; numerically they track the plain ops.
+  auto grads_of = [&](bool segmented) {
+    w.ZeroGrad();
+    b.ZeroGrad();
+    Tape t;
+    t.Backward(build(&t, segmented));
+    return std::pair<Matrix, Matrix>(w.grad, b.grad);
+  };
+  auto [gw_seg, gb_seg] = grads_of(true);
+  auto [gw_plain, gb_plain] = grads_of(false);
+  EXPECT_TRUE(gw_seg.AllClose(gw_plain, 1e-12));
+  EXPECT_TRUE(gb_seg.AllClose(gb_plain, 1e-12));
+}
+
 TEST(SgdTest, ConvergesOnQuadratic) {
   Parameter w(Matrix({{5.0}}));
   Sgd opt(0.1);

@@ -14,7 +14,9 @@
 #include "core/eval.h"
 #include "core/normal_form.h"
 #include "core/rewrite.h"
+#include "graph/batch.h"
 #include "graph/generators.h"
+#include "wl/color_refinement.h"
 
 namespace gelc {
 namespace {
@@ -255,6 +257,72 @@ TEST_P(TapeFuzz, RandomProgramGradientsMatchFiniteDifference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TapeFuzz, ::testing::Range<uint64_t>(1, 17));
+
+// Random batches: packing must round-trip offsets/slices, reproduce the
+// folded disjoint union's CSR bit for bit, and leave WL colors of every
+// block exactly what the member graph gets standalone.
+class GraphBatchFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphBatchFuzz, PackingRoundTripsAndPreservesWlColors) {
+  Rng rng(GetParam() * 52501);
+  size_t k = 1 + rng.NextBounded(6);
+  size_t d = rng.NextBounded(3);  // 0 is a legal (empty) feature dim
+  std::vector<Graph> graphs;
+  for (size_t i = 0; i < k; ++i) {
+    size_t n = 1 + rng.NextBounded(7);  // includes single-vertex graphs
+    Graph g(n, d);
+    for (size_t u = 0; u < n; ++u) {
+      for (size_t v = u + 1; v < n; ++v)
+        if (rng.NextBernoulli(0.35)) {
+          EXPECT_TRUE(g.AddEdge(static_cast<VertexId>(u),
+                                static_cast<VertexId>(v))
+                          .ok());
+        }
+      if (d > 0)
+        g.SetOneHotFeature(static_cast<VertexId>(u), rng.NextBounded(d));
+    }
+    graphs.push_back(std::move(g));
+  }
+  std::vector<const Graph*> ptrs;
+  for (const Graph& g : graphs) ptrs.push_back(&g);
+  Result<GraphBatch> batch = GraphBatch::Create(ptrs);
+  ASSERT_TRUE(batch.ok());
+
+  // Vertex-offset / segment-id / slice round trip.
+  ASSERT_EQ(batch->num_graphs(), k);
+  size_t total = 0;
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(batch->graph_offset(i), total);
+    EXPECT_EQ(batch->graph_size(i), graphs[i].num_vertices());
+    for (size_t v = 0; v < graphs[i].num_vertices(); ++v)
+      EXPECT_EQ(batch->segment_of(total + v), i);
+    EXPECT_EQ(batch->Slice(batch->features(), i), graphs[i].features());
+    total += graphs[i].num_vertices();
+  }
+  EXPECT_EQ(batch->num_vertices(), total);
+
+  // The packed adjacency is the folded disjoint union's CSR, bit for bit.
+  Graph acc = graphs[0];
+  for (size_t i = 1; i < k; ++i) acc = *Graph::DisjointUnion(acc, graphs[i]);
+  const CsrMatrix& a = batch->adjacency();
+  const CsrMatrix& b = acc.Csr().adjacency();
+  EXPECT_EQ(a.row_offsets, b.row_offsets);
+  EXPECT_EQ(a.col_indices, b.col_indices);
+
+  // Joint color refinement: every batch block stabilizes to exactly the
+  // colors its member graph gets standalone — message passing (and hence
+  // WL) never crosses a block boundary.
+  for (size_t i = 0; i < k; ++i) {
+    CrColoring joint = RunColorRefinement({&acc, &graphs[i]});
+    for (size_t v = 0; v < graphs[i].num_vertices(); ++v)
+      EXPECT_EQ(joint.stable[0][batch->graph_offset(i) + v],
+                joint.stable[1][v])
+          << "graph " << i << " vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphBatchFuzz,
+                         ::testing::Range<uint64_t>(1, 21));
 
 }  // namespace
 }  // namespace gelc

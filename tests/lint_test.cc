@@ -217,6 +217,35 @@ TEST(RulesTest, DenseAdjacencyOnlyUnderGnn) {
   EXPECT_TRUE(RunOn("src/hom/hom_count.cc", src).empty());
 }
 
+TEST(RulesTest, SegmentIndexingOnlyUnderGnn) {
+  const std::string ids = "size_t s = batch.segment_ids()[v];";
+  const std::string offs = "size_t lo = batch.vertex_offsets()[i + 1];";
+  ASSERT_EQ(RunOn("src/gnn/trainable.cc", ids).size(), 1u);
+  EXPECT_EQ(RunOn("src/gnn/trainable.cc", ids)[0].rule,
+            "segment-boundary-indexing");
+  EXPECT_EQ(RunOn("src/gnn/mpnn.cc", offs).size(), 1u);
+  // GraphBatch itself (and tests/tools) may index its backing vectors.
+  EXPECT_TRUE(RunOn("src/graph/batch.cc", ids).empty());
+  EXPECT_TRUE(RunOn("tests/batch_test.cc", offs).empty());
+}
+
+TEST(RulesTest, SegmentIndexingAllowsAccessorsAndPassThrough) {
+  // Passing the offsets vector whole to a segment op is the sanctioned
+  // pattern; only `()[` — a raw element read — crosses a boundary.
+  EXPECT_TRUE(
+      RunOn("src/gnn/trainable.cc",
+            "ValueId p = tape->SegmentSum(z, batch.vertex_offsets());")
+          .empty());
+  EXPECT_TRUE(RunOn("src/gnn/trainable.cc",
+                    "size_t lo = batch.graph_offset(i);")
+                  .empty());
+  // NOLINT waives it like any other rule.
+  EXPECT_TRUE(RunOn("src/gnn/trainable.cc",
+                    "size_t s = batch.segment_ids()[v];  "
+                    "// NOLINT(segment-boundary-indexing)")
+                  .empty());
+}
+
 TEST(RulesTest, UncheckedStatusBareCallStatement) {
   StatusFunctionSet fns = {"AddEdge"};
   auto diags = RunOn("src/a.cc", "void f(Graph& g) { g.AddEdge(0, 1); }",
@@ -358,11 +387,11 @@ TEST(ReportTest, JsonEscapesSpecialCharacters) {
 
 TEST(ReportTest, AllRuleNamesListedOnce) {
   const auto& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 8u);
   for (const char* expected :
-       {"unchecked-status", "dense-adjacency-in-hot-path", "raw-thread",
-        "adhoc-timing", "nondeterminism", "banned-alloc",
-        "include-hygiene"}) {
+       {"unchecked-status", "dense-adjacency-in-hot-path",
+        "segment-boundary-indexing", "raw-thread", "adhoc-timing",
+        "nondeterminism", "banned-alloc", "include-hygiene"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }

@@ -304,5 +304,43 @@ TEST(DenseFreeHotPathTest, ForwardAndTrainingNeverDensifyAdjacency) {
   obs::ResetEnabledFromEnv();
 }
 
+// Reads any counter through the snapshot API (cf. DenseBuildsFromSnapshot).
+uint64_t CounterFromSnapshot(const char* name) {
+  for (const auto& c : obs::Snapshot().counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+// The trainers hoist Graph::Csr() once before their epoch loops, so a
+// whole training run costs exactly one cache lookup (a hit, after the
+// prewarm below) and zero rebuilds — not one lookup per epoch.
+TEST(CsrCacheTest, TrainersQueryTheCsrCacheOncePerRun) {
+  obs::SetMetricsEnabled(true);
+  Rng rng(53);
+  TrainOptions opt;
+  opt.epochs = 5;
+  opt.hidden_widths = {4};
+  {
+    NodeDataset ds = SyntheticCitations(30, 2, 0.2, &rng);
+    ds.graph.Csr();  // prewarm: the one legitimate miss happens here
+    const uint64_t hits = CounterFromSnapshot("graph.csr_cache.hits");
+    const uint64_t misses = CounterFromSnapshot("graph.csr_cache.misses");
+    ASSERT_TRUE(TrainNodeClassifier(ds, opt).ok());
+    EXPECT_EQ(CounterFromSnapshot("graph.csr_cache.hits") - hits, 1u);
+    EXPECT_EQ(CounterFromSnapshot("graph.csr_cache.misses") - misses, 0u);
+  }
+  {
+    LinkDataset ds = SyntheticSocialLinks(60, &rng);
+    ds.graph.Csr();  // prewarm
+    const uint64_t hits = CounterFromSnapshot("graph.csr_cache.hits");
+    const uint64_t misses = CounterFromSnapshot("graph.csr_cache.misses");
+    ASSERT_TRUE(TrainLinkPredictor(ds, opt).ok());
+    EXPECT_EQ(CounterFromSnapshot("graph.csr_cache.hits") - hits, 1u);
+    EXPECT_EQ(CounterFromSnapshot("graph.csr_cache.misses") - misses, 0u);
+  }
+  obs::ResetEnabledFromEnv();
+}
+
 }  // namespace
 }  // namespace gelc

@@ -82,6 +82,18 @@ TEST(MatrixTest, FrobeniusNorm) {
   EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
 }
 
+TEST(MatrixTest, IsZero) {
+  EXPECT_TRUE(Matrix(3, 2).IsZero());
+  EXPECT_TRUE(Matrix().IsZero());
+  EXPECT_TRUE(Matrix({{0.0, -0.0}}).IsZero());
+  EXPECT_FALSE(Matrix({{0.0, 1e-300}}).IsZero());
+  Matrix m(4, 4);
+  m.At(3, 3) = -2.5;
+  EXPECT_FALSE(m.IsZero());
+  // Subnormals count as nonzero even though their squares underflow.
+  EXPECT_FALSE(Matrix({{5e-324}}).IsZero());
+}
+
 TEST(MatrixTest, MaxAbsDiff) {
   Matrix a = {{1, 2}};
   Matrix b = {{1.5, -1}};
