@@ -1,0 +1,80 @@
+// P10: the GEL query compiler itself — cold compile cost versus model
+// depth, the structural plan-cache hit path, and compiled-plan execution
+// against the hand-written fused GNN forward it must match bit-for-bit
+// (the compiler's overhead over the native kernels should be noise).
+#include <benchmark/benchmark.h>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "core/compile_gnn.h"
+#include "core/plan_compile.h"
+#include "core/plan_exec.h"
+#include "gnn/gnn101.h"
+#include "graph/generators.h"
+
+namespace gelc {
+namespace {
+
+Gnn101Model DeepModel(size_t layers, size_t width, Rng* rng) {
+  std::vector<size_t> widths(layers + 1, width);
+  widths[0] = 1;
+  return *Gnn101Model::Random(widths, Activation::kTanh, 0.5, rng);
+}
+
+// Cold compile: lowering plus the full rewrite stack, no cache.
+void BM_PlanCompileByDepth(benchmark::State& state) {
+  Rng rng(7);
+  Gnn101Model model = DeepModel(state.range(0), 8, &rng);
+  ExprPtr e = *CompileGnn101ToGel(model);
+  for (auto _ : state) {
+    Result<PlanPtr> plan = CompileToPlan(e);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetLabel("layers=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PlanCompileByDepth)->Arg(1)->Arg(3)->Arg(6);
+
+// Warm cache: one structural hash + bucket probe per query.
+void BM_PlanCacheHit(benchmark::State& state) {
+  Rng rng(7);
+  Gnn101Model model = DeepModel(3, 8, &rng);
+  ExprPtr e = *CompileGnn101ToGel(model);
+  PlanCache cache;
+  benchmark::DoNotOptimize(cache.GetOrCompile(e));
+  for (auto _ : state) {
+    Result<PlanPtr> plan = cache.GetOrCompile(e);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanCacheHit);
+
+// Compiled-plan execution versus the hand-written fused forward (arg 0:
+// 0 = hand, 1 = plan) at arg 1 threads. Both run the same fused kernels;
+// the rows should be within noise of each other.
+void BM_PlanVsHandForward(benchmark::State& state) {
+  Rng rng(7);
+  Graph g = RandomGnp(2048, 0.005, &rng);
+  Gnn101Model model = DeepModel(3, 8, &rng);
+  PlanPtr plan = *CompileToPlan(*CompileGnn101ToGel(model));
+  const bool use_plan = state.range(0) != 0;
+  SetParallelThreadCount(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    if (use_plan) {
+      Result<Matrix> v = ExecutePlan(*plan, g);
+      benchmark::DoNotOptimize(v);
+    } else {
+      Result<Matrix> v = model.VertexEmbeddings(g);
+      benchmark::DoNotOptimize(v);
+    }
+  }
+  SetParallelThreadCount(0);
+  state.SetLabel(use_plan ? "compiled-plan" : "hand-forward");
+}
+BENCHMARK(BM_PlanVsHandForward)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 4})
+    ->Args({1, 4});
+
+}  // namespace
+}  // namespace gelc

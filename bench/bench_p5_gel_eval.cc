@@ -1,12 +1,17 @@
 // P5: GEL evaluation cost versus variable width (the O(n^k) tables of
 // DESIGN.md) and the memoization ablation, plus normal-form execution as
-// the cheap alternative for the MPNN fragment.
+// the cheap alternative for the MPNN fragment, and the three-way
+// execution-mode sweep (uncached / memoized / compiled plan) at both ends
+// of the thread range.
 #include <benchmark/benchmark.h>
 
+#include "base/parallel.h"
 #include "base/rng.h"
 #include "core/compile_gnn.h"
 #include "core/eval.h"
 #include "core/normal_form.h"
+#include "core/plan_compile.h"
+#include "core/plan_exec.h"
 #include "graph/generators.h"
 
 namespace gelc {
@@ -77,6 +82,47 @@ void BM_NormalFormVsDirect(benchmark::State& state) {
   state.SetLabel(layered ? "normal-form" : "direct-eval");
 }
 BENCHMARK(BM_NormalFormVsDirect)->Arg(1)->Arg(0);
+
+// The headline sweep: the same 3-layer GNN-101 query through the
+// uncached interpreter (arg 0 = 0), the memoized interpreter (1) and the
+// compiled plan via the structural cache (2), each at a forced pool of
+// arg 1 threads. The plan row over the memoized row is the query
+// compiler's speedup; its threads-4 row adds the parallel fused kernels.
+void BM_GelExecutionMode(benchmark::State& state) {
+  Rng rng(7);
+  Graph g = RandomGnp(1024, 0.01, &rng);
+  Gnn101Model model =
+      *Gnn101Model::Random({1, 8, 8, 8}, Activation::kTanh, 0.5, &rng);
+  ExprPtr e = *CompileGnn101ToGel(model);
+  const int64_t mode = state.range(0);
+  SetParallelThreadCount(static_cast<size_t>(state.range(1)));
+  PlanCache cache;
+  if (mode == 2) benchmark::DoNotOptimize(cache.GetOrCompile(e));
+  for (auto _ : state) {
+    if (mode == 2) {
+      PlanPtr plan = *cache.GetOrCompile(e);
+      Result<Matrix> v = ExecutePlan(*plan, g);
+      benchmark::DoNotOptimize(v);
+    } else {
+      Evaluator::Options options;
+      options.memoize = mode == 1;
+      Evaluator eval(g, options);
+      Result<Matrix> v = eval.EvalVertex(e);
+      benchmark::DoNotOptimize(v);
+    }
+  }
+  SetParallelThreadCount(0);
+  state.SetLabel(mode == 2   ? "compiled-plan"
+                 : mode == 1 ? "memoized"
+                             : "uncached");
+}
+BENCHMARK(BM_GelExecutionMode)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({2, 4});
 
 }  // namespace
 }  // namespace gelc

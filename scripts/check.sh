@@ -8,10 +8,14 @@
 #                            thread-variant (GELC_NUM_THREADS=1/4) tests
 #   4. sanitizer ctest     — ASAN+UBSAN build, full suite again
 #
-#   5. TSAN obs ctest      — TSAN build, obs tests only: the metrics
-#                            shards and trace ring buffers are written
-#                            from pool workers, so their merge-on-read
-#                            paths get a dedicated race check
+#   5. TSAN ctest          — TSAN build of the pool-worker-heavy suites:
+#                            the obs metrics shards / trace ring buffers
+#                            and the fused plan-execution kernels are
+#                            written from pool workers, so their
+#                            merge-on-read and disjoint-row-shard paths
+#                            get a dedicated race check (plan_test also
+#                            carries the compile/fuzz differential
+#                            suites)
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast  skip steps 4 and 5 (the sanitizer rebuilds) for quick
@@ -35,7 +39,7 @@ echo "== [3/5] ctest =="
 
 if [[ "$fast" == "1" ]]; then
   echo "== [4/5] SKIPPED (--fast): ASAN/UBSAN ctest =="
-  echo "== [5/5] SKIPPED (--fast): TSAN obs ctest =="
+  echo "== [5/5] SKIPPED (--fast): TSAN ctest =="
   exit 0
 fi
 
@@ -45,9 +49,11 @@ cmake -B build-ubsan -S . -DGELC_ENABLE_ASAN=ON -DGELC_ENABLE_UBSAN=ON \
 cmake --build build-ubsan -j >/dev/null
 (cd build-ubsan && ctest --output-on-failure -j)
 
-echo "== [5/5] TSAN obs ctest =="
+echo "== [5/5] TSAN ctest =="
 cmake -B build-tsan -S . -DGELC_ENABLE_TSAN=ON >/dev/null
-cmake --build build-tsan -j --target obs_test parallel_test >/dev/null
-(cd build-tsan && ctest --output-on-failure -R '^(obs_test|parallel_test)')
+cmake --build build-tsan -j --target obs_test parallel_test plan_test \
+  fuzz_test >/dev/null
+(cd build-tsan && ctest --output-on-failure \
+  -R '^(obs_test|parallel_test|plan_test|fuzz_test)')
 
 echo "check.sh: all gates green"

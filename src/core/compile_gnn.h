@@ -4,9 +4,11 @@
 // fragment they land in.
 //
 // A GNN-101 model (slide 13) compiles to the guarded 2-variable MPNN
-// fragment; evaluating the expression coincides (up to floating-point
-// reassociation) with running the network, and Analyze() on the result
-// reports the color-refinement bound of slides 26/51.
+// fragment; evaluating the expression coincides bit-for-bit with running
+// the network (the Ω/Θ closures, the fused forward kernels and the plan
+// executor all share one accumulation order — see tensor/fused.h), and
+// Analyze() on the result reports the color-refinement bound of slides
+// 26/51.
 #ifndef GELC_CORE_COMPILE_GNN_H_
 #define GELC_CORE_COMPILE_GNN_H_
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "obs/metrics.h"
 
 namespace gelc {
 
@@ -61,12 +62,27 @@ Evaluator::Evaluator(Graph g, Options options)
 
 Result<EvalTable> Evaluator::Eval(const ExprPtr& e) {
   if (e == nullptr) return Status::InvalidArgument("null expression");
+  uint64_t key = 0;
   if (options_.memoize) {
-    auto it = memo_.find(e);
-    if (it != memo_.end()) return it->second;
+    static obs::Counter* hits = obs::GetCounter("eval.memo_hits");
+    static obs::Counter* misses = obs::GetCounter("eval.memo_misses");
+    key = e->StructuralHash();
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      for (const auto& [cached_expr, table] : it->second) {
+        if (StructurallyEqual(cached_expr, e)) {
+          hits->Increment();
+          return table;
+        }
+      }
+    }
+    misses->Increment();
   }
   GELC_ASSIGN_OR_RETURN(EvalTable table, EvalUncached(e));
-  if (options_.memoize) memo_.emplace(e, table);
+  if (options_.memoize) {
+    memo_[key].emplace_back(e, table);
+    ++memo_entries_;
+  }
   return table;
 }
 

@@ -11,7 +11,9 @@
 #ifndef GELC_CORE_EVAL_H_
 #define GELC_CORE_EVAL_H_
 
-#include <map>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/status.h"
@@ -66,15 +68,23 @@ class Evaluator {
 
   const Graph& graph() const { return g_; }
 
+  /// Number of distinct (up to structural equality) subexpressions
+  /// memoized so far.
+  size_t memo_size() const { return memo_entries_; }
+
  private:
   Result<EvalTable> EvalUncached(const ExprPtr& e);
 
   Graph g_;
   Options options_;
-  // Keyed by the shared node handle (pointer identity) — holding the
-  // ExprPtr keeps the node alive so a freed node's address can never be
-  // reused as a stale cache hit.
-  std::map<ExprPtr, EvalTable> memo_;
+  // Keyed by Expr::StructuralHash with StructurallyEqual as the collision
+  // check, so structurally identical subexpressions built through
+  // different nodes share one table (pointer-identity keying missed
+  // those). Bucket entries hold the ExprPtr both for the equality check
+  // and to keep the node alive.
+  std::unordered_map<uint64_t, std::vector<std::pair<ExprPtr, EvalTable>>>
+      memo_;
+  size_t memo_entries_ = 0;
 };
 
 }  // namespace gelc

@@ -1,8 +1,10 @@
 #include "core/expr.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
+#include "base/hash.h"
 #include "base/logging.h"
 #include "base/strings.h"
 
@@ -168,6 +170,209 @@ size_t Expr::AggregationDepth() const {
   if (guard_ != nullptr)
     child_max = std::max(child_max, guard_->AggregationDepth());
   return child_max + (kind_ == Kind::kAggregate ? 1 : 0);
+}
+
+namespace {
+
+uint64_t HashDoubles(uint64_t seed, const std::vector<double>& v) {
+  seed = HashCombine(seed, v.size());
+  return HashCombine(seed, Fnv1a64(v.data(), v.size() * sizeof(double)));
+}
+
+uint64_t HashMatrix(uint64_t seed, const Matrix& m) {
+  seed = HashCombine(seed, m.rows());
+  seed = HashCombine(seed, m.cols());
+  return HashDoubles(seed, m.data());
+}
+
+// Exact byte equality, matching what the hashes above see: -0.0 and 0.0
+// (or two NaNs) in corresponding slots compare unequal, which only costs
+// a conservative cache miss.
+bool SameDoubles(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool SameMatrix(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         SameDoubles(a.data(), b.data());
+}
+
+}  // namespace
+
+uint64_t OmegaStructuralHash(const OmegaFn& fn) {
+  uint64_t h = Fnv1a64("omega");
+  h = HashCombine(h, static_cast<uint64_t>(fn.kind));
+  h = HashCombine(h, Fnv1a64(fn.name));
+  h = HashCombine(h, fn.out_dim);
+  for (size_t d : fn.arg_dims) h = HashCombine(h, d);
+  switch (fn.kind) {
+    case OmegaFn::Kind::kOpaque:
+      // No structured parameters to hash: fall back to closure identity.
+      h = HashCombine(h, reinterpret_cast<uintptr_t>(&fn));
+      break;
+    case OmegaFn::Kind::kLinear:
+      h = HashMatrix(h, *fn.weight);
+      h = HashMatrix(h, *fn.bias);
+      break;
+    case OmegaFn::Kind::kMlp:
+      for (const MlpLayer& l : fn.mlp->layers()) {
+        h = HashMatrix(h, l.w);
+        h = HashMatrix(h, l.b);
+        h = HashCombine(h, static_cast<uint64_t>(l.act));
+      }
+      break;
+    case OmegaFn::Kind::kActivation:
+      h = HashCombine(h, static_cast<uint64_t>(fn.act));
+      break;
+    case OmegaFn::Kind::kScale: {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &fn.scale, sizeof(bits));
+      h = HashCombine(h, bits);
+      break;
+    }
+    case OmegaFn::Kind::kProject:
+      h = HashCombine(h, fn.project_begin);
+      h = HashCombine(h, fn.project_len);
+      break;
+    case OmegaFn::Kind::kConcat:
+    case OmegaFn::Kind::kAdd:
+    case OmegaFn::Kind::kMultiply:
+      break;  // fully determined by kind + dims
+  }
+  return h;
+}
+
+bool OmegaStructurallyEqual(const OmegaFn& a, const OmegaFn& b) {
+  if (&a == &b) return true;
+  if (a.kind != b.kind || a.name != b.name || a.out_dim != b.out_dim ||
+      a.arg_dims != b.arg_dims) {
+    return false;
+  }
+  switch (a.kind) {
+    case OmegaFn::Kind::kOpaque:
+      return false;  // distinct closures: identity already checked above
+    case OmegaFn::Kind::kLinear:
+      return SameMatrix(*a.weight, *b.weight) && SameMatrix(*a.bias, *b.bias);
+    case OmegaFn::Kind::kMlp: {
+      const auto& la = a.mlp->layers();
+      const auto& lb = b.mlp->layers();
+      if (la.size() != lb.size()) return false;
+      for (size_t i = 0; i < la.size(); ++i) {
+        if (la[i].act != lb[i].act || !SameMatrix(la[i].w, lb[i].w) ||
+            !SameMatrix(la[i].b, lb[i].b)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case OmegaFn::Kind::kActivation:
+      return a.act == b.act;
+    case OmegaFn::Kind::kScale:
+      return std::memcmp(&a.scale, &b.scale, sizeof(double)) == 0;
+    case OmegaFn::Kind::kProject:
+      return a.project_begin == b.project_begin &&
+             a.project_len == b.project_len;
+    case OmegaFn::Kind::kConcat:
+    case OmegaFn::Kind::kAdd:
+    case OmegaFn::Kind::kMultiply:
+      return true;
+  }
+  return false;
+}
+
+uint64_t ThetaStructuralHash(const ThetaAgg& agg) {
+  uint64_t h = Fnv1a64("theta");
+  h = HashCombine(h, static_cast<uint64_t>(agg.kind));
+  h = HashCombine(h, Fnv1a64(agg.name));
+  h = HashCombine(h, agg.in_dim);
+  h = HashCombine(h, agg.out_dim);
+  if (agg.kind == ThetaAgg::Kind::kOpaque) {
+    h = HashCombine(h, reinterpret_cast<uintptr_t>(&agg));
+  }
+  return h;
+}
+
+bool ThetaStructurallyEqual(const ThetaAgg& a, const ThetaAgg& b) {
+  if (&a == &b) return true;
+  if (a.kind == ThetaAgg::Kind::kOpaque) return false;
+  return a.kind == b.kind && a.name == b.name && a.in_dim == b.in_dim &&
+         a.out_dim == b.out_dim;
+}
+
+uint64_t Expr::StructuralHash() const {
+  uint64_t cached = hash_cache_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  uint64_t h = Fnv1a64("expr");
+  h = HashCombine(h, static_cast<uint64_t>(kind_));
+  h = HashCombine(h, dim_);
+  switch (kind_) {
+    case Kind::kLabel:
+      h = HashCombine(h, label_index_);
+      h = HashCombine(h, var_a_);
+      break;
+    case Kind::kEdge:
+      h = HashCombine(h, var_a_);
+      h = HashCombine(h, var_b_);
+      break;
+    case Kind::kCompare:
+      h = HashCombine(h, var_a_);
+      h = HashCombine(h, var_b_);
+      h = HashCombine(h, static_cast<uint64_t>(cmp_op_));
+      break;
+    case Kind::kConst:
+      h = HashDoubles(h, constant_);
+      break;
+    case Kind::kApply:
+      h = HashCombine(h, OmegaStructuralHash(*fn_));
+      for (const ExprPtr& c : children_)
+        h = HashCombine(h, c->StructuralHash());
+      break;
+    case Kind::kAggregate:
+      h = HashCombine(h, ThetaStructuralHash(*agg_));
+      h = HashCombine(h, bound_);
+      h = HashCombine(h, children_[0]->StructuralHash());
+      h = HashCombine(h, guard_ != nullptr ? guard_->StructuralHash()
+                                           : uint64_t{0x9d});
+      break;
+  }
+  if (h == 0) h = 1;  // keep 0 as the "not computed" sentinel
+  hash_cache_.store(h, std::memory_order_relaxed);
+  return h;
+}
+
+bool StructurallyEqual(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->StructuralHash() != b->StructuralHash()) return false;
+  if (a->kind() != b->kind() || a->dim() != b->dim()) return false;
+  switch (a->kind()) {
+    case Expr::Kind::kLabel:
+      return a->label_index() == b->label_index() && a->var_a() == b->var_a();
+    case Expr::Kind::kEdge:
+      return a->var_a() == b->var_a() && a->var_b() == b->var_b();
+    case Expr::Kind::kCompare:
+      return a->var_a() == b->var_a() && a->var_b() == b->var_b() &&
+             a->cmp_op() == b->cmp_op();
+    case Expr::Kind::kConst:
+      return SameDoubles(a->constant(), b->constant());
+    case Expr::Kind::kApply: {
+      if (!OmegaStructurallyEqual(*a->fn(), *b->fn())) return false;
+      if (a->children().size() != b->children().size()) return false;
+      for (size_t i = 0; i < a->children().size(); ++i) {
+        if (!StructurallyEqual(a->children()[i], b->children()[i]))
+          return false;
+      }
+      return true;
+    }
+    case Expr::Kind::kAggregate:
+      return ThetaStructurallyEqual(*a->agg(), *b->agg()) &&
+             a->bound_vars() == b->bound_vars() &&
+             StructurallyEqual(a->value(), b->value()) &&
+             StructurallyEqual(a->guard(), b->guard());
+  }
+  return false;
 }
 
 std::string Expr::ToString() const {

@@ -24,6 +24,7 @@
 #ifndef GELC_CORE_EXPR_H_
 #define GELC_CORE_EXPR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -111,6 +112,15 @@ class Expr : public std::enable_shared_from_this<Expr> {
   /// Textual rendering, e.g. "agg[sum]_{x1}(lab0(x1) | E(x0,x1))".
   std::string ToString() const;
 
+  /// Canonical structural hash: equal for any two structurally identical
+  /// trees regardless of node identity, covering kinds, variables,
+  /// dimensions, constants, and Ω/Θ parameters (weight bytes included, so
+  /// two `linear` nodes with different weights never collide by name).
+  /// Cached on the node, so amortized O(1) per shared subtree. Both the
+  /// Evaluator memo and the plan cache key on this hash, with
+  /// StructurallyEqual as the collision check.
+  uint64_t StructuralHash() const;
+
  private:
   Expr() = default;
 
@@ -129,7 +139,29 @@ class Expr : public std::enable_shared_from_this<Expr> {
   ThetaPtr agg_;
   VarSet bound_ = 0;
   ExprPtr guard_;
+
+  // StructuralHash cache; 0 = not yet computed (computed hashes are
+  // remapped away from 0). Relaxed atomics: concurrent recomputation is
+  // benign because the value is a pure function of the immutable node.
+  mutable std::atomic<uint64_t> hash_cache_{0};
 };
+
+/// Canonical hash of F ∈ Ω: kind, signature, and parameters (weight and
+/// bias bytes, activation, scale constant, projection range, MLP layers).
+/// kOpaque functions hash by closure identity — stable within a process,
+/// which is all the in-memory caches need.
+uint64_t OmegaStructuralHash(const OmegaFn& fn);
+/// Structural equality of Ω functions: parameter bytes compared exactly;
+/// kOpaque functions compare by identity.
+bool OmegaStructurallyEqual(const OmegaFn& a, const OmegaFn& b);
+
+/// Canonical hash of θ ∈ Θ (kind + dims; kOpaque by identity).
+uint64_t ThetaStructuralHash(const ThetaAgg& agg);
+bool ThetaStructurallyEqual(const ThetaAgg& a, const ThetaAgg& b);
+
+/// Deep structural equality of expressions — the collision check backing
+/// StructuralHash-keyed caches. O(min tree size); shared-node fast path.
+bool StructurallyEqual(const ExprPtr& a, const ExprPtr& b);
 
 }  // namespace gelc
 

@@ -11,6 +11,7 @@ namespace omega {
 OmegaPtr Concat(const std::vector<size_t>& arg_dims) {
   auto f = std::make_shared<OmegaFn>();
   f->name = "concat";
+  f->kind = OmegaFn::Kind::kConcat;
   f->arg_dims = arg_dims;
   f->out_dim = f->total_in_dim();
   std::vector<size_t> dims = arg_dims;
@@ -36,23 +37,38 @@ Result<OmegaPtr> Linear(const std::vector<size_t>& arg_dims, Matrix w,
   }
   auto f = std::make_shared<OmegaFn>();
   f->name = "linear";
+  f->kind = OmegaFn::Kind::kLinear;
   f->arg_dims = arg_dims;
   f->out_dim = w.cols();
   std::vector<size_t> dims = arg_dims;
   auto wp = std::make_shared<Matrix>(std::move(w));
   auto bp = std::make_shared<Matrix>(std::move(b));
+  f->weight = wp;
+  f->bias = bp;
+  // Per-argument partial sums, combined left to right with the bias added
+  // last: (x_1 W_1) + (x_2 W_2) + ... + b, each partial accumulated in
+  // ascending component order from 0 with no zero-skip. This is the exact
+  // grouping of the per-argument MatMul + AddRowBroadcast sequence used by
+  // the hand-written GNN forwards and the compiled-plan executor, so all
+  // three paths produce identical bits.
   f->fn = [dims, wp, bp](const std::vector<const double*>& args,
                          double* out) {
     size_t out_dim = wp->cols();
-    for (size_t j = 0; j < out_dim; ++j) out[j] = bp->At(0, j);
+    std::vector<double> partial(out_dim);
+    for (size_t j = 0; j < out_dim; ++j) out[j] = 0.0;
     size_t row = 0;
     for (size_t i = 0; i < dims.size(); ++i) {
+      double* acc = i == 0 ? out : partial.data();
+      for (size_t j = 0; j < out_dim; ++j) acc[j] = 0.0;
       for (size_t c = 0; c < dims[i]; ++c, ++row) {
         double x = args[i][c];
-        if (x == 0.0) continue;
-        for (size_t j = 0; j < out_dim; ++j) out[j] += x * wp->At(row, j);
+        for (size_t j = 0; j < out_dim; ++j) acc[j] += x * wp->At(row, j);
+      }
+      if (i != 0) {
+        for (size_t j = 0; j < out_dim; ++j) out[j] += partial[j];
       }
     }
+    for (size_t j = 0; j < out_dim; ++j) out[j] += bp->At(0, j);
   };
   return OmegaPtr(f);
 }
@@ -60,6 +76,8 @@ Result<OmegaPtr> Linear(const std::vector<size_t>& arg_dims, Matrix w,
 OmegaPtr ActivationFn(Activation act, size_t d) {
   auto f = std::make_shared<OmegaFn>();
   f->name = ActivationName(act);
+  f->kind = OmegaFn::Kind::kActivation;
+  f->act = act;
   f->arg_dims = {d};
   f->out_dim = d;
   f->fn = [act, d](const std::vector<const double*>& args, double* out) {
@@ -71,6 +89,7 @@ OmegaPtr ActivationFn(Activation act, size_t d) {
 OmegaPtr Add(size_t d) {
   auto f = std::make_shared<OmegaFn>();
   f->name = "add";
+  f->kind = OmegaFn::Kind::kAdd;
   f->arg_dims = {d, d};
   f->out_dim = d;
   f->fn = [d](const std::vector<const double*>& args, double* out) {
@@ -82,6 +101,7 @@ OmegaPtr Add(size_t d) {
 OmegaPtr Multiply(size_t d) {
   auto f = std::make_shared<OmegaFn>();
   f->name = "mul";
+  f->kind = OmegaFn::Kind::kMultiply;
   f->arg_dims = {d, d};
   f->out_dim = d;
   f->fn = [d](const std::vector<const double*>& args, double* out) {
@@ -95,6 +115,8 @@ OmegaPtr Scale(double c, size_t d) {
   // The parameter is part of the name so expressions round-trip through
   // the text syntax (core/parser.h).
   f->name = "scale[" + FormatDouble(c) + "]";
+  f->kind = OmegaFn::Kind::kScale;
+  f->scale = c;
   f->arg_dims = {d};
   f->out_dim = d;
   f->fn = [c, d](const std::vector<const double*>& args, double* out) {
@@ -111,10 +133,12 @@ Result<OmegaPtr> FromMlp(const std::vector<size_t>& arg_dims, Mlp mlp) {
   }
   auto f = std::make_shared<OmegaFn>();
   f->name = "mlp";
+  f->kind = OmegaFn::Kind::kMlp;
   f->arg_dims = arg_dims;
   f->out_dim = mlp.out_dim();
   std::vector<size_t> dims = arg_dims;
   auto mp = std::make_shared<Mlp>(std::move(mlp));
+  f->mlp = mp;
   f->fn = [dims, mp, in](const std::vector<const double*>& args,
                          double* out) {
     Matrix x(1, in);
@@ -134,6 +158,9 @@ Result<OmegaPtr> Project(size_t d, size_t begin, size_t len) {
   auto f = std::make_shared<OmegaFn>();
   f->name = "project[" + std::to_string(begin) + "," + std::to_string(len) +
             "]";
+  f->kind = OmegaFn::Kind::kProject;
+  f->project_begin = begin;
+  f->project_len = len;
   f->arg_dims = {d};
   f->out_dim = len;
   f->fn = [begin, len](const std::vector<const double*>& args, double* out) {

@@ -25,11 +25,38 @@ namespace gelc {
 ///
 /// `fn` receives one pointer per argument (arg i points at d_i doubles)
 /// and writes out_dim doubles to `out`.
+///
+/// Besides the opaque closure, every factory below tags its Kind and
+/// parameters. The plan compiler (core/plan_compile.h) reads the
+/// structured form to emit vectorized/fused tensor ops and to hash
+/// parameters canonically; kOpaque functions still execute, row by row,
+/// through `fn`.
 struct OmegaFn {
+  enum class Kind {
+    kOpaque,
+    kConcat,
+    kLinear,
+    kActivation,
+    kAdd,
+    kMultiply,
+    kScale,
+    kMlp,
+    kProject,
+  };
+
   std::string name;
   std::vector<size_t> arg_dims;
   size_t out_dim = 0;
   std::function<void(const std::vector<const double*>& args, double* out)> fn;
+
+  Kind kind = Kind::kOpaque;
+  std::shared_ptr<const Matrix> weight;  // kLinear: W ((Σ arg_dims) x out)
+  std::shared_ptr<const Matrix> bias;    // kLinear: b (1 x out)
+  std::shared_ptr<const Mlp> mlp;        // kMlp
+  Activation act = Activation::kIdentity;  // kActivation
+  double scale = 1.0;                      // kScale
+  size_t project_begin = 0;                // kProject
+  size_t project_len = 0;                  // kProject
 
   size_t arity() const { return arg_dims.size(); }
   size_t total_in_dim() const {

@@ -9,6 +9,7 @@ namespace theta {
 ThetaPtr Sum(size_t d) {
   auto t = std::make_shared<ThetaAgg>();
   t->name = "sum";
+  t->kind = ThetaAgg::Kind::kSum;
   t->in_dim = d;
   t->out_dim = d;
   t->init = [d](double* acc) { std::fill(acc, acc + d, 0.0); };
@@ -22,6 +23,7 @@ ThetaPtr Sum(size_t d) {
 ThetaPtr Mean(size_t d) {
   auto t = std::make_shared<ThetaAgg>();
   t->name = "mean";
+  t->kind = ThetaAgg::Kind::kMean;
   t->in_dim = d;
   t->out_dim = d;
   t->init = [d](double* acc) { std::fill(acc, acc + d, 0.0); };
@@ -38,6 +40,7 @@ ThetaPtr Mean(size_t d) {
 ThetaPtr Max(size_t d) {
   auto t = std::make_shared<ThetaAgg>();
   t->name = "max";
+  t->kind = ThetaAgg::Kind::kMax;
   t->in_dim = d;
   t->out_dim = d;
   t->init = [d](double* acc) {
@@ -55,6 +58,7 @@ ThetaPtr Max(size_t d) {
 ThetaPtr Count(size_t d) {
   auto t = std::make_shared<ThetaAgg>();
   t->name = "count";
+  t->kind = ThetaAgg::Kind::kCount;
   t->in_dim = d;
   t->out_dim = 1;
   t->init = [](double* acc) { acc[0] = 0.0; };

@@ -17,8 +17,15 @@
 namespace gelc {
 
 /// An aggregate θ : bags of R^{in_dim} -> R^{out_dim}.
+///
+/// `kind` tags the builtin aggregates so the plan compiler
+/// (core/plan_compile.h) can emit fused CSR kernels; kOpaque aggregates
+/// still execute through the incremental closures.
 struct ThetaAgg {
+  enum class Kind { kOpaque, kSum, kMean, kMax, kCount };
+
   std::string name;
+  Kind kind = Kind::kOpaque;
   size_t in_dim = 0;
   size_t out_dim = 0;
   /// Initializes the out_dim accumulator.

@@ -1,6 +1,7 @@
 #include "gnn/gnn101.h"
 
 #include "base/logging.h"
+#include "tensor/fused.h"
 #include "tensor/sparse.h"
 
 namespace gelc {
@@ -60,9 +61,22 @@ Result<Matrix> Gnn101Model::VertexEmbeddings(const Graph& g) const {
   }
   Matrix f = g.features();
   const CsrMatrix& a = g.Csr().adjacency();
+  // One fused CSR-row pass per layer: neighbor sum, both weight products,
+  // bias and activation with no aggregate or product temporaries. The
+  // kernel's accumulation order matches the former
+  // f.MatMul(w1) + SpMM(a, f).MatMul(w2) composition bit-for-bit.
+  Matrix next;
   for (const Gnn101Layer& l : layers_) {
-    Matrix next = f.MatMul(l.w1) + SpMM(a, f).MatMul(l.w2);
-    f = ApplyActivation(l.act, next.AddRowBroadcast(l.b));
+    FusedLayerArg self;
+    self.values = &f;
+    self.w = &l.w1;
+    FusedLayerArg agg;
+    agg.values = &f;
+    agg.w = &l.w2;
+    agg.csr = &a;
+    agg.agg = FusedAgg::kSum;
+    FusedLayerInto(g.num_vertices(), {self, agg}, &l.b, l.act, &next);
+    f = std::move(next);
   }
   return f;
 }
@@ -72,9 +86,15 @@ Result<Matrix> Gnn101Model::GraphEmbedding(const Graph& g) const {
     return Status::FailedPrecondition("model has no readout");
   }
   GELC_ASSIGN_OR_RETURN(Matrix f, VertexEmbeddings(g));
-  Matrix pooled = f.ColSums();
-  return ApplyActivation(readout_.act,
-                         pooled.MatMul(readout_.w).AddRowBroadcast(readout_.b));
+  // Pool + readout in the fused form (bit-identical to the former
+  // ColSums / MatMul / AddRowBroadcast / ApplyActivation chain).
+  Matrix pooled = PoolRows(f, FusedAgg::kSum, f.rows(), false);
+  FusedLayerArg arg;
+  arg.values = &pooled;
+  arg.w = &readout_.w;
+  Matrix out;
+  FusedLayerInto(1, {arg}, &readout_.b, readout_.act, &out);
+  return out;
 }
 
 }  // namespace gelc

@@ -5,6 +5,7 @@
 
 #include "base/logging.h"
 #include "base/parallel.h"
+#include "tensor/fused.h"
 #include "tensor/segment.h"
 #include "tensor/sparse.h"
 
@@ -241,9 +242,11 @@ Result<Matrix> GinModel::VertexEmbeddings(const Graph& g) const {
     return Status::InvalidArgument("graph feature dim does not match model");
   }
   Matrix f = g.features();
+  // (1 + eps) * self + neighbor-sum in one fused CSR pass (bit-identical
+  // to the former AggregateNeighbors + scale + add composition).
+  Matrix combined;
   for (const GinLayer& l : layers_) {
-    Matrix agg = AggregateNeighbors(g, f, Aggregation::kSum);
-    Matrix combined = f * (1.0 + l.eps) + agg;
+    FusedGinCombineInto(g.Csr().adjacency(), f, 1.0 + l.eps, &combined);
     f = l.mlp.Forward(combined);
   }
   return f;

@@ -133,6 +133,8 @@ class GcnModel {
 
   Result<Matrix> VertexEmbeddings(const Graph& g) const;
 
+  const std::vector<Layer>& layers() const { return layers_; }
+
  private:
   std::vector<Layer> layers_;
 };

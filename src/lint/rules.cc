@@ -248,6 +248,29 @@ void RuleDenseAdjacency(const FileContext& ctx, std::vector<Diagnostic>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// interpreter-in-hot-path: the hand-written GNN forwards are the fused
+// fast path; routing them through the table-building Evaluator (or
+// quietly constructing one as a fallback) reintroduces per-node
+// interpretation overhead. GNN-to-GEL round trips belong in core/ and
+// tests/, where the interpreter is the semantics oracle.
+// ---------------------------------------------------------------------------
+void RuleInterpreterInHotPath(const FileContext& ctx,
+                              std::vector<Diagnostic>* out) {
+  if (!PathHasComponent(ctx.path, "gnn")) return;
+  const Tokens& t = ctx.lex->tokens;
+  for (const Token& tok : t) {
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    if (tok.text == "Evaluator") {
+      Report(ctx, tok.line, "interpreter-in-hot-path",
+             "Evaluator under src/gnn interprets expression tables in the "
+             "fused forward path; use the tensor kernels directly or "
+             "compile a plan (core/plan_compile.h)",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // segment-boundary-indexing: GNN code must not index into a GraphBatch's
 // backing vectors by hand (`batch.segment_ids()[v]`,
 // `batch.vertex_offsets()[i]`, or arithmetic over them) — off-by-one
@@ -407,6 +430,7 @@ void RuleUncheckedStatus(const FileContext& ctx,
 const std::vector<std::string>& AllRuleNames() {
   static const std::vector<std::string> kNames = {
       "unchecked-status",  "dense-adjacency-in-hot-path",
+      "interpreter-in-hot-path",
       "segment-boundary-indexing",
       "raw-thread",        "adhoc-timing",
       "nondeterminism",    "banned-alloc",
@@ -419,6 +443,7 @@ std::vector<Diagnostic> RunAllRules(const FileContext& ctx) {
   std::vector<Diagnostic> out;
   RuleUncheckedStatus(ctx, &out);
   RuleDenseAdjacency(ctx, &out);
+  RuleInterpreterInHotPath(ctx, &out);
   RuleSegmentIndexing(ctx, &out);
   RuleRawThread(ctx, &out);
   RuleAdhocTiming(ctx, &out);

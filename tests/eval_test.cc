@@ -4,6 +4,7 @@
 
 #include "base/rng.h"
 #include "core/eval.h"
+#include "core/rewrite.h"
 #include "graph/generators.h"
 
 namespace gelc {
@@ -183,6 +184,38 @@ TEST(EvalTest, MemoizationReusesTables) {
   Evaluator memo(g);
   Evaluator no_memo(g, Evaluator::Options{/*memoize=*/false, 50'000'000});
   EXPECT_EQ((*memo.EvalVertex(squared)), (*no_memo.EvalVertex(squared)));
+}
+
+TEST(EvalTest, MemoIsStructuralNotPointerBased) {
+  Graph g = CompleteGraph(6);
+  // Two independently built (pointer-distinct) copies of the degree
+  // expression: the structural-hash memo key makes the second Eval a pure
+  // cache hit, adding no entries.
+  ExprPtr a = DegreeExpr();
+  ExprPtr b = DegreeExpr();
+  ASSERT_NE(a.get(), b.get());
+  Evaluator eval(g);
+  Matrix va = *eval.EvalVertex(a);
+  size_t entries = eval.memo_size();
+  Matrix vb = *eval.EvalVertex(b);
+  EXPECT_EQ(eval.memo_size(), entries);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(EvalTest, MemoIsAlphaInsensitiveAfterMinimization) {
+  Graph g = CompleteGraph(6);
+  // Binder-renamed variants minimize to the same canonical form, so they
+  // share one memo entry per node.
+  ExprPtr a = *Expr::Aggregate(theta::Sum(1), VarBit(1),
+                               *Expr::Constant({1.0}), *Expr::Edge(0, 1));
+  ExprPtr b = *Expr::Aggregate(theta::Sum(1), VarBit(3),
+                               *Expr::Constant({1.0}), *Expr::Edge(0, 3));
+  Evaluator eval(g);
+  Matrix va = *eval.EvalVertex(*MinimizeVariables(a));
+  size_t entries = eval.memo_size();
+  Matrix vb = *eval.EvalVertex(*MinimizeVariables(b));
+  EXPECT_EQ(eval.memo_size(), entries);
+  EXPECT_EQ(va, vb);
 }
 
 TEST(EvalTest, BudgetGuardsAgainstHugeTables) {

@@ -217,6 +217,17 @@ TEST(RulesTest, DenseAdjacencyOnlyUnderGnn) {
   EXPECT_TRUE(RunOn("src/hom/hom_count.cc", src).empty());
 }
 
+TEST(RulesTest, InterpreterInHotPathOnlyUnderGnn) {
+  const std::string src = "Evaluator ev(g); Matrix m = *ev.EvalVertex(e);";
+  ASSERT_EQ(RunOn("src/gnn/mpnn.cc", src).size(), 1u);
+  EXPECT_EQ(RunOn("src/gnn/mpnn.cc", src)[0].rule,
+            "interpreter-in-hot-path");
+  // The interpreter is fine everywhere else: it is the semantics oracle
+  // in core/ and the differential reference in tests/.
+  EXPECT_TRUE(RunOn("src/core/plan_compile.cc", src).empty());
+  EXPECT_TRUE(RunOn("tests/plan_test.cc", src).empty());
+}
+
 TEST(RulesTest, SegmentIndexingOnlyUnderGnn) {
   const std::string ids = "size_t s = batch.segment_ids()[v];";
   const std::string offs = "size_t lo = batch.vertex_offsets()[i + 1];";
@@ -387,11 +398,12 @@ TEST(ReportTest, JsonEscapesSpecialCharacters) {
 
 TEST(ReportTest, AllRuleNamesListedOnce) {
   const auto& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 9u);
   for (const char* expected :
        {"unchecked-status", "dense-adjacency-in-hot-path",
-        "segment-boundary-indexing", "raw-thread", "adhoc-timing",
-        "nondeterminism", "banned-alloc", "include-hygiene"}) {
+        "interpreter-in-hot-path", "segment-boundary-indexing",
+        "raw-thread", "adhoc-timing", "nondeterminism", "banned-alloc",
+        "include-hygiene"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }

@@ -1,0 +1,528 @@
+// Tests for the GEL query compiler (core/plan_compile.h), the plan IR
+// (core/plan.h) and the fused executor (core/plan_exec.h):
+//   - golden plan dumps witnessing CSE, guard pushdown and the opt-in
+//     aggregation reorder;
+//   - differential fuzz: compiled plans are bit-identical to
+//     Evaluator::Eval at forced thread counts 1 and 4;
+//   - the bit-identity triangle: plan == interpreter == hand-written
+//     GNN forward for GNN-101, GIN, MPNN and (via direct model lowering)
+//     GCN;
+//   - the structural plan cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "core/compile_gnn.h"
+#include "core/eval.h"
+#include "core/plan.h"
+#include "core/plan_compile.h"
+#include "core/plan_exec.h"
+#include "gnn/gnn101.h"
+#include "gnn/mpnn.h"
+#include "graph/generators.h"
+
+namespace gelc {
+namespace {
+
+constexpr size_t kFeatureDim = 3;
+
+Graph RandomFeatureGraph(Rng* rng, size_t max_n = 9) {
+  size_t n = 3 + rng->NextBounded(max_n - 2);
+  bool directed = rng->NextBernoulli(0.3);
+  Graph g(n, kFeatureDim, directed);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = 0; v < n; ++v) {
+      if (u == v || (!directed && v < u)) continue;
+      if (rng->NextBernoulli(0.3)) {
+        EXPECT_TRUE(g.AddEdge(static_cast<VertexId>(u),
+                              static_cast<VertexId>(v))
+                        .ok());
+      }
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t j = 0; j < kFeatureDim; ++j) {
+      g.mutable_features().At(v, j) = rng->NextUniform(-1, 1);
+    }
+  }
+  return g;
+}
+
+// Random well-typed expression inside the plannable fragment: free
+// variables a subset of {var}, output dimension `dim`.
+ExprPtr RandomPlanExpr(Rng* rng, Var var, size_t depth, size_t dim) {
+  if (depth == 0) {
+    if (dim == 1 && rng->NextBounded(2) == 0) {
+      return *Expr::Label(rng->NextBounded(kFeatureDim), var);
+    }
+    std::vector<double> c(dim);
+    for (double& x : c) x = rng->NextUniform(-1, 1);
+    return *Expr::Constant(std::move(c));
+  }
+  switch (rng->NextBounded(8)) {
+    case 0: {
+      Activation acts[] = {Activation::kReLU, Activation::kTanh,
+                           Activation::kSigmoid};
+      return *Expr::Apply(omega::ActivationFn(acts[rng->NextBounded(3)], dim),
+                          {RandomPlanExpr(rng, var, depth - 1, dim)});
+    }
+    case 1:
+      return *Expr::Apply(omega::Add(dim),
+                          {RandomPlanExpr(rng, var, depth - 1, dim),
+                           RandomPlanExpr(rng, var, depth - 1, dim)});
+    case 2:
+      return *Expr::Apply(omega::Multiply(dim),
+                          {RandomPlanExpr(rng, var, depth - 1, dim),
+                           RandomPlanExpr(rng, var, depth - 1, dim)});
+    case 3:
+      return *Expr::Apply(omega::Scale(rng->NextUniform(-2, 2), dim),
+                          {RandomPlanExpr(rng, var, depth - 1, dim)});
+    case 4: {
+      size_t arity = 1 + rng->NextBounded(2);
+      std::vector<size_t> dims;
+      std::vector<ExprPtr> children;
+      size_t total = 0;
+      for (size_t i = 0; i < arity; ++i) {
+        size_t d = 1 + rng->NextBounded(3);
+        dims.push_back(d);
+        total += d;
+        children.push_back(RandomPlanExpr(rng, var, depth - 1, d));
+      }
+      return *Expr::Apply(
+          *omega::Linear(dims, Matrix::RandomGaussian(total, dim, 0.5, rng),
+                         Matrix::RandomGaussian(1, dim, 0.5, rng)),
+          std::move(children));
+    }
+    case 5: {
+      size_t wide = dim + 1 + rng->NextBounded(2);
+      size_t begin = rng->NextBounded(wide - dim + 1);
+      return *Expr::Apply(*omega::Project(wide, begin, dim),
+                          {RandomPlanExpr(rng, var, depth - 1, wide)});
+    }
+    case 6: {
+      size_t in = 1 + rng->NextBounded(3);
+      size_t hidden = 1 + rng->NextBounded(3);
+      std::vector<MlpLayer> layers;
+      layers.push_back({Matrix::RandomGaussian(in, hidden, 0.5, rng),
+                        Matrix::RandomGaussian(1, hidden, 0.5, rng),
+                        Activation::kReLU});
+      layers.push_back({Matrix::RandomGaussian(hidden, dim, 0.5, rng),
+                        Matrix::RandomGaussian(1, dim, 0.5, rng),
+                        Activation::kIdentity});
+      return *Expr::Apply(
+          *omega::FromMlp({in}, Mlp(std::move(layers))),
+          {RandomPlanExpr(rng, var, depth - 1, in)});
+    }
+    default: {
+      Var bound = var == 0 ? 1 : 0;
+      ExprPtr guard = rng->NextBounded(2) ? *Expr::Edge(var, bound)
+                                          : *Expr::Edge(bound, var);
+      size_t flavor = rng->NextBounded(4);
+      if (flavor == 3 && dim == 1) {
+        // Guarded count (degree-flavored); the value is ignored.
+        size_t vd = 1 + rng->NextBounded(2);
+        return *Expr::Aggregate(theta::Count(vd), VarBit(bound),
+                                RandomPlanExpr(rng, bound, depth - 1, vd),
+                                std::move(guard));
+      }
+      ThetaPtr agg = flavor == 2   ? theta::Max(dim)
+                     : flavor == 1 ? theta::Mean(dim)
+                                   : theta::Sum(dim);
+      // Value over the bound variable (neighbor gather), the outer
+      // variable (source gather) or closed (broadcast gather).
+      size_t gather = rng->NextBounded(3);
+      ExprPtr value;
+      if (gather == 0) {
+        value = RandomPlanExpr(rng, bound, depth - 1, dim);
+      } else if (gather == 1) {
+        value = RandomPlanExpr(rng, var, depth - 1, dim);
+      } else {
+        std::vector<double> c(dim);
+        for (double& x : c) x = rng->NextUniform(-1, 1);
+        value = *Expr::Constant(std::move(c));
+      }
+      return *Expr::Aggregate(std::move(agg), VarBit(bound),
+                              std::move(value), std::move(guard));
+    }
+  }
+}
+
+ExprPtr DegreeExpr(Var outer, Var bound) {
+  return *Expr::Aggregate(theta::Sum(1), VarBit(bound),
+                          *Expr::Constant({1.0}),
+                          *Expr::Edge(outer, bound));
+}
+
+void ExpectBitEqual(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a.At(i, j), b.At(i, j))
+          << what << " differs at (" << i << "," << j << ")";
+    }
+  }
+}
+
+// -- Golden plan dumps -------------------------------------------------------
+
+TEST(PlanDumpTest, DegreeGuardPushesDownToOutTraversal) {
+  CompileStats stats;
+  PlanPtr plan = *CompileToPlan(DegreeExpr(0, 1), PlanOptions{}, &stats);
+  EXPECT_EQ(plan->ToString(),
+            "%0 = const [1] : global[1]\n"
+            "%1 = neighbor_agg sum out broadcast %0 : vertex[1]\n"
+            "result: %1\n");
+  EXPECT_EQ(stats.guard_pushdowns, 1u);
+}
+
+TEST(PlanDumpTest, ReversedGuardUsesInTraversal) {
+  // E(x1, x0) with x1 bound: x1 ranges over in-neighbors of x0.
+  ExprPtr e = *Expr::Aggregate(theta::Sum(1), VarBit(1),
+                               *Expr::Constant({1.0}), *Expr::Edge(1, 0));
+  PlanPtr plan = *CompileToPlan(e);
+  EXPECT_EQ(plan->ToString(),
+            "%0 = const [1] : global[1]\n"
+            "%1 = neighbor_agg sum in broadcast %0 : vertex[1]\n"
+            "result: %1\n");
+}
+
+TEST(PlanDumpTest, StructurallyIdenticalSubtreesShareOneSlot) {
+  // Two independently built (pointer-distinct) degree aggregates: value
+  // numbering collapses them to one neighbor_agg (CSE).
+  ExprPtr e = *Expr::Apply(omega::Add(1), {DegreeExpr(0, 1), DegreeExpr(0, 1)});
+  CompileStats stats;
+  PlanPtr plan = *CompileToPlan(e, PlanOptions{}, &stats);
+  EXPECT_EQ(plan->ToString(),
+            "%0 = const [1] : global[1]\n"
+            "%1 = neighbor_agg sum out broadcast %0 : vertex[1]\n"
+            "%2 = add %1 %1 : vertex[1]\n"
+            "result: %2\n");
+  EXPECT_GE(stats.cse_hits, 2u);  // the const and the whole aggregate
+}
+
+TEST(PlanDumpTest, CseIsStructuralNotAlphaSensitive) {
+  // Same aggregate with different binder names: binder minimization
+  // canonicalizes both to the same plan ops.
+  ExprPtr e = *Expr::Apply(omega::Add(1), {DegreeExpr(0, 1), DegreeExpr(0, 2)});
+  CompileStats stats;
+  PlanPtr plan = *CompileToPlan(e, PlanOptions{}, &stats);
+  EXPECT_EQ(plan->ops.size(), 3u);
+  EXPECT_GE(stats.cse_hits, 2u);
+}
+
+TEST(PlanDumpTest, ReassociationReordersAggregateAndLinear) {
+  // agg_sum(linear_nobias_{1->3}(lab0(x1)) | E(x0,x1)).
+  ExprPtr lin = *Expr::Apply(
+      *omega::Linear({1}, Matrix({{0.5, -1.0, 2.0}}), Matrix(1, 3)),
+      {*Expr::Label(0, 1)});
+  ExprPtr e = *Expr::Aggregate(theta::Sum(3), VarBit(1), lin,
+                               *Expr::Edge(0, 1));
+
+  CompileStats off_stats;
+  PlanPtr off = *CompileToPlan(e, PlanOptions{}, &off_stats);
+  EXPECT_EQ(off->ToString(),
+            "%0 = load_labels cols=[0] : vertex[1]\n"
+            "%1 = fused_layer [%0*w[1x3]] +bias : vertex[3]\n"
+            "%2 = neighbor_agg sum out neighbor %1 : vertex[3]\n"
+            "result: %2\n");
+  EXPECT_EQ(off_stats.reassociations, 0u);
+
+  PlanOptions reassoc;
+  reassoc.reassociate = true;
+  CompileStats on_stats;
+  PlanPtr on = *CompileToPlan(e, reassoc, &on_stats);
+  // The reorder swaps the aggregate ahead of the linear map, and the
+  // absorption pass then fuses the pair into one CSR pass: aggregate
+  // first ("agg(...)%0"), then the 1x3 map — the opposite order of the
+  // default plan above.
+  EXPECT_EQ(on->ToString(),
+            "%0 = load_labels cols=[0] : vertex[1]\n"
+            "%1 = fused_layer [agg(sum,out,neighbor)%0*w[1x3]] +bias"
+            " : vertex[3]\n"
+            "result: %1\n");
+  EXPECT_EQ(on_stats.reassociations, 1u);
+
+  // The reorder is exact in real arithmetic: results agree to tolerance.
+  Rng rng(11);
+  Graph g = RandomFeatureGraph(&rng);
+  Matrix a = *ExecutePlan(*off, g);
+  Matrix b = *ExecutePlan(*on, g);
+  ASSERT_EQ(a.rows(), b.rows());
+  for (size_t v = 0; v < a.rows(); ++v) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(a.At(v, j), b.At(v, j), 1e-12);
+    }
+  }
+}
+
+TEST(PlanCompileTest, RejectsPairTablesAndOddGuards) {
+  // An edge atom used as a value is a pair table: not plannable.
+  ExprPtr edge = *Expr::Edge(0, 1);
+  EXPECT_FALSE(CompileToPlan(edge).ok());
+  // Non-edge guard: falls back to the interpreter.
+  ExprPtr guarded = *Expr::Aggregate(
+      theta::Count(1), VarBit(1), *Expr::Constant({1.0}),
+      *Expr::Apply(omega::Multiply(1),
+                   {*Expr::Edge(0, 1), *Expr::Compare(0, 1, CmpOp::kNeq)}));
+  EXPECT_FALSE(CompileToPlan(guarded).ok());
+  // Two free variables: not a vertex table.
+  ExprPtr two = *Expr::Apply(omega::Add(1),
+                             {*Expr::Label(0, 0), *Expr::Label(0, 1)});
+  EXPECT_FALSE(CompileToPlan(two).ok());
+}
+
+// -- Fusion witnesses --------------------------------------------------------
+
+TEST(PlanFusionTest, Gnn101LayerAbsorbsAggregateAndActivation) {
+  Rng rng(7);
+  Gnn101Model model =
+      *Gnn101Model::Random({kFeatureDim, 4, 4}, Activation::kReLU, 0.5, &rng);
+  CompileStats stats;
+  PlanPtr plan =
+      *CompileToPlan(*CompileGnn101ToGel(model), PlanOptions{}, &stats);
+  EXPECT_GE(stats.aggregate_absorptions, 2u);  // one per layer
+  EXPECT_GE(stats.activation_fusions, 2u);
+  std::string dump = plan->ToString();
+  EXPECT_NE(dump.find("agg(sum,out,neighbor)"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("act=relu"), std::string::npos) << dump;
+  // No standalone aggregation or activation ops survive.
+  EXPECT_EQ(dump.find("neighbor_agg"), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("activation"), std::string::npos) << dump;
+}
+
+TEST(PlanFusionTest, GinCombineFusesScaleAddAndAggregate) {
+  Rng rng(8);
+  GinModel model = *GinModel::Random({kFeatureDim, 4, 4}, 0.5, &rng);
+  CompileStats stats;
+  PlanPtr plan =
+      *CompileToPlan(*CompileGinToGel(model), PlanOptions{}, &stats);
+  EXPECT_GE(stats.gin_fusions, 2u);
+  EXPECT_NE(plan->ToString().find("gin_combine"), std::string::npos)
+      << plan->ToString();
+}
+
+TEST(PlanFusionTest, ReadoutFusesPoolIntoFinalMap) {
+  Rng rng(9);
+  Gnn101Model model =
+      *Gnn101Model::Random({kFeatureDim, 4, 4}, Activation::kReLU, 0.5, &rng);
+  CompileStats stats;
+  PlanPtr plan =
+      *CompileToPlan(*CompileGnn101GraphToGel(model), PlanOptions{}, &stats);
+  EXPECT_GE(stats.readout_fusions, 1u);
+  EXPECT_NE(plan->ToString().find("pool_readout"), std::string::npos)
+      << plan->ToString();
+}
+
+TEST(PlanFusionTest, LabelLoadsCoalesceIntoOneCopy) {
+  Rng rng(10);
+  Gnn101Model model =
+      *Gnn101Model::Random({kFeatureDim, 4}, Activation::kReLU, 0.5, &rng);
+  CompileStats stats;
+  PlanPtr plan =
+      *CompileToPlan(*CompileGnn101ToGel(model), PlanOptions{}, &stats);
+  EXPECT_GE(stats.label_coalesces, 1u);
+  EXPECT_NE(plan->ToString().find("load_labels cols=[0,1,2]"),
+            std::string::npos)
+      << plan->ToString();
+}
+
+// -- The bit-identity triangle ----------------------------------------------
+
+TEST(PlanBitIdentityTest, Gnn101PlanInterpreterAndHandForwardAgree) {
+  Rng rng(21);
+  Gnn101Model model =
+      *Gnn101Model::Random({kFeatureDim, 5, 4}, Activation::kReLU, 0.5, &rng);
+  Graph g = RandomFeatureGraph(&rng);
+  Matrix hand = *model.VertexEmbeddings(g);
+
+  ExprPtr gel = *CompileGnn101ToGel(model);
+  Evaluator ev(g);
+  Matrix interp = *ev.EvalVertex(gel);
+  ExpectBitEqual(hand, interp, "hand vs interpreter");
+
+  Matrix plan_out = *ExecutePlan(**CompileToPlan(gel), g);
+  ExpectBitEqual(hand, plan_out, "hand vs plan");
+
+  // Graph embedding: the closed readout expression, all three paths.
+  Matrix ghand = *model.GraphEmbedding(g);
+  ExprPtr closed = *CompileGnn101GraphToGel(model);
+  std::vector<double> ivec = *ev.EvalClosed(closed);
+  Matrix gplan = *ExecutePlan(**CompileToPlan(closed), g);
+  ASSERT_EQ(ivec.size(), ghand.cols());
+  ASSERT_EQ(gplan.cols(), ghand.cols());
+  for (size_t j = 0; j < ivec.size(); ++j) {
+    EXPECT_EQ(ghand.At(0, j), ivec[j]) << "readout " << j;
+    EXPECT_EQ(ghand.At(0, j), gplan.At(0, j)) << "readout " << j;
+  }
+}
+
+TEST(PlanBitIdentityTest, GinPlanInterpreterAndHandForwardAgree) {
+  Rng rng(22);
+  GinModel model = *GinModel::Random({kFeatureDim, 4, 4}, 0.5, &rng);
+  Graph g = RandomFeatureGraph(&rng);
+  Matrix hand = *model.VertexEmbeddings(g);
+  ExprPtr gel = *CompileGinToGel(model);
+  Evaluator ev(g);
+  ExpectBitEqual(hand, *ev.EvalVertex(gel), "hand vs interpreter");
+  ExpectBitEqual(hand, *ExecutePlan(**CompileToPlan(gel), g),
+                 "hand vs plan");
+}
+
+TEST(PlanBitIdentityTest, MpnnPlanInterpreterAndHandForwardAgree) {
+  Rng rng(23);
+  MpnnModel model =
+      *MpnnModel::Random({kFeatureDim, 4, 4}, Aggregation::kMean, 0.5, &rng);
+  Graph g = RandomFeatureGraph(&rng);
+  Matrix hand = *model.VertexEmbeddings(g);
+  ExprPtr gel = *CompileMpnnToGel(model);
+  Evaluator ev(g);
+  ExpectBitEqual(hand, *ev.EvalVertex(gel), "hand vs interpreter");
+  ExpectBitEqual(hand, *ExecutePlan(**CompileToPlan(gel), g),
+                 "hand vs plan");
+}
+
+TEST(PlanBitIdentityTest, GcnDirectLoweringMatchesHandForward) {
+  Rng rng(24);
+  GcnModel model = *GcnModel::Random({kFeatureDim, 4, 3}, 0.5, &rng);
+  Graph g = RandomFeatureGraph(&rng);
+  Matrix hand = *model.VertexEmbeddings(g);
+  PlanPtr plan = *CompileGcnToPlan(model);
+  ExpectBitEqual(hand, *ExecutePlan(*plan, g), "hand vs plan");
+  EXPECT_NE(plan->ToString().find("agg(sum,norm,neighbor)"),
+            std::string::npos)
+      << plan->ToString();
+}
+
+// -- Differential fuzz -------------------------------------------------------
+
+class PlanDifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlanDifferentialFuzz, PlanBitIdenticalToInterpreterAtAnyThreadCount) {
+  Rng rng(GetParam() * 92821 + 5);
+  size_t dim = 1 + rng.NextBounded(3);
+  ExprPtr e = RandomPlanExpr(&rng, 0, 1 + rng.NextBounded(3), dim);
+  Graph g = RandomFeatureGraph(&rng);
+  Evaluator ev(g);
+  Result<PlanPtr> plan = CompileToPlan(e);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString() << "\n"
+                         << e->ToString();
+
+  SetParallelThreadCount(1);
+  Matrix serial = *ExecutePlan(**plan, g);
+  SetParallelThreadCount(4);
+  Matrix parallel = *ExecutePlan(**plan, g);
+  SetParallelThreadCount(0);
+  ExpectBitEqual(serial, parallel, e->ToString().c_str());
+
+  if (e->free_vars() == 0) {
+    std::vector<double> ivec = *ev.EvalClosed(e);
+    ASSERT_EQ(serial.rows(), 1u);
+    ASSERT_EQ(serial.cols(), ivec.size());
+    for (size_t j = 0; j < ivec.size(); ++j) {
+      EXPECT_EQ(serial.At(0, j), ivec[j]) << e->ToString();
+    }
+  } else {
+    Matrix interp = *ev.EvalVertex(e);
+    ExpectBitEqual(interp, serial, e->ToString().c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanDifferentialFuzz,
+                         ::testing::Range(uint64_t{0}, uint64_t{40}));
+
+// -- Escape hatches and edge cases ------------------------------------------
+
+TEST(PlanExecTest, OpaqueOmegaAndThetaStillExecuteBitEqual) {
+  // A hand-rolled clamp function and a sum-of-squares aggregate, neither
+  // known to the optimizer: the plan runs them through the original
+  // closures and still matches the interpreter exactly.
+  auto clamp = std::make_shared<OmegaFn>();
+  clamp->name = "clamp";
+  clamp->arg_dims = {1};
+  clamp->out_dim = 1;
+  clamp->fn = [](const std::vector<const double*>& args, double* out) {
+    out[0] = std::min(1.0, std::max(-1.0, args[0][0]));
+  };
+  auto sqsum = std::make_shared<ThetaAgg>();
+  sqsum->name = "sqsum";
+  sqsum->in_dim = 1;
+  sqsum->out_dim = 1;
+  sqsum->init = [](double* acc) { acc[0] = 0.0; };
+  sqsum->accumulate = [](double* acc, const double* x) {
+    acc[0] += x[0] * x[0];
+  };
+  sqsum->finalize = [](double*, size_t) {};
+
+  ExprPtr e = *Expr::Apply(
+      OmegaPtr(clamp),
+      {*Expr::Aggregate(ThetaPtr(sqsum), VarBit(1), *Expr::Label(0, 1),
+                        *Expr::Edge(0, 1))});
+  Rng rng(31);
+  Graph g = RandomFeatureGraph(&rng);
+  Evaluator ev(g);
+  Matrix interp = *ev.EvalVertex(e);
+  Matrix plan_out = *ExecutePlan(**CompileToPlan(e), g);
+  ExpectBitEqual(interp, plan_out, "opaque ops");
+}
+
+TEST(PlanExecTest, EmptyGraphAndIsolatedVertices) {
+  ExprPtr deg = DegreeExpr(0, 1);
+  Graph empty(0, kFeatureDim);
+  Matrix m = *ExecutePlan(**CompileToPlan(deg), empty);
+  EXPECT_EQ(m.rows(), 0u);
+  // Max over an empty neighborhood finalizes to zero, like theta::Max.
+  ExprPtr mx = *Expr::Aggregate(theta::Max(1), VarBit(1),
+                                *Expr::Label(0, 1), *Expr::Edge(0, 1));
+  Graph isolated(3, kFeatureDim);  // no edges at all
+  for (size_t v = 0; v < 3; ++v) {
+    isolated.mutable_features().At(v, 0) = -5.0;
+  }
+  Evaluator ev(isolated);
+  Matrix interp = *ev.EvalVertex(mx);
+  Matrix plan_out = *ExecutePlan(**CompileToPlan(mx), isolated);
+  ExpectBitEqual(interp, plan_out, "isolated max");
+  EXPECT_EQ(plan_out.At(0, 0), 0.0);
+}
+
+TEST(PlanExecTest, LabelIndexValidatedAtExecution) {
+  ExprPtr e = *Expr::Label(2, 0);
+  PlanPtr plan = *CompileToPlan(e);
+  Graph narrow(3, 1);  // feature dim 1 < label index 2
+  EXPECT_FALSE(ExecutePlan(*plan, narrow).ok());
+}
+
+// -- Plan cache --------------------------------------------------------------
+
+TEST(PlanCacheTest, AlphaEquivalentQueriesShareOnePlan) {
+  PlanCache cache;
+  // Same query with different binder names: one compilation, one entry.
+  PlanPtr a = *cache.GetOrCompile(DegreeExpr(0, 1));
+  PlanPtr b = *cache.GetOrCompile(DegreeExpr(0, 2));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // A structurally different query compiles separately.
+  ExprPtr other = *Expr::Aggregate(theta::Mean(1), VarBit(1),
+                                   *Expr::Constant({1.0}),
+                                   *Expr::Edge(0, 1));
+  PlanPtr c = *cache.GetOrCompile(other);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PlanCacheTest, NonPlannableExpressionsPropagateAndAreNotCached) {
+  PlanCache cache;
+  ExprPtr edge = *Expr::Edge(0, 1);
+  EXPECT_FALSE(cache.GetOrCompile(edge).ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gelc
