@@ -15,6 +15,7 @@
 #include "graph/generators.h"
 #include "obs/metrics.h"
 #include "tensor/matrix.h"
+#include "tensor/simd.h"
 #include "wl/color_refinement.h"
 #include "wl/kernel.h"
 #include "wl/kwl.h"
@@ -27,6 +28,18 @@ void ThreadSweep(benchmark::internal::Benchmark* b,
   for (int64_t size : sizes)
     for (int64_t threads : {1, 2, 4, 8}) b->Args({size, threads});
 }
+
+// Pins a SIMD tier for one benchmark run (0=scalar, 1=avx2, 2=fast) and
+// labels the row with the tier actually installed — on non-AVX2 hardware
+// the vector rows degrade to scalar and say so in the label, so sweep
+// rows are never silently mislabeled.
+struct ScopedBenchTier {
+  explicit ScopedBenchTier(benchmark::State& state, int64_t tier_arg) {
+    simd::Tier installed = simd::SetTier(static_cast<simd::Tier>(tier_arg));
+    state.SetLabel(simd::TierName(installed));
+  }
+  ~ScopedBenchTier() { simd::ResetTier(); }
+};
 
 // Deltas of the pool's deterministic scheduling counters over the timed
 // loop, attached to the bench output so the JSON records how often each
@@ -55,6 +68,7 @@ class PoolCounters {
 };
 
 void BM_MatMulParallel(benchmark::State& state) {
+  ScopedBenchTier tier(state, state.range(2));
   SetParallelThreadCount(static_cast<size_t>(state.range(1)));
   size_t n = static_cast<size_t>(state.range(0));
   Rng rng(7);
@@ -71,7 +85,12 @@ void BM_MatMulParallel(benchmark::State& state) {
   SetParallelThreadCount(0);
 }
 BENCHMARK(BM_MatMulParallel)->Apply([](benchmark::internal::Benchmark* b) {
-  ThreadSweep(b, {256, 512});
+  // The dense product also sweeps the SIMD tier (arg 2; 0=scalar,
+  // 1=avx2, 2=fast) — the serial/parallel crossover depends on it, and
+  // the checked-in JSON records the per-tier speedup curves.
+  for (int64_t size : {256, 512})
+    for (int64_t threads : {1, 2, 4, 8})
+      for (int64_t tier : {0, 1, 2}) b->Args({size, threads, tier});
 });
 
 void BM_ColorRefinementParallel(benchmark::State& state) {

@@ -1,10 +1,13 @@
 // P8: SpMM vs dense-MatMul message passing. Sweeps Erdős–Rényi and
 // regular (circulant) graphs over n ∈ {256, 1024, 4096}, edge density
-// ∈ {0.5%, 2%, 10%}, and forced thread counts {1, 4, 8}; the dense
-// baseline multiplies the materialized n x n adjacency by the same
-// feature matrix. Args are {n, density per-mille, threads}. Results are
-// bit-identical between the two paths and across thread counts
-// (tests/sparse_test.cc asserts it); these benches only time them.
+// ∈ {0.5%, 2%, 10%}, forced thread counts {1, 4, 8}, and the SIMD
+// kernel tier {scalar, avx2, fast}; the dense baseline multiplies the
+// materialized n x n adjacency by the same feature matrix. Args are
+// {n, density per-mille, threads, tier} with the installed tier in the
+// row label (vector rows degrade to scalar on non-AVX2 hardware).
+// Results are bit-identical between the two paths, across thread counts,
+// and between the scalar and avx2 tiers (tests/sparse_test.cc and
+// tests/simd_test.cc assert it); these benches only time them.
 // scripts/run_benches.sh records the sweep into BENCH_p8.json.
 #include <benchmark/benchmark.h>
 
@@ -20,6 +23,7 @@
 #include "graph/graph.h"
 #include "obs/metrics.h"
 #include "tensor/matrix.h"
+#include "tensor/simd.h"
 #include "tensor/sparse.h"
 
 namespace gelc {
@@ -60,8 +64,20 @@ class DispatchCounters {
 void SpmmSweep(benchmark::internal::Benchmark* b) {
   for (int64_t n : {256, 1024, 4096})
     for (int64_t permille : {5, 20, 100})
-      for (int64_t threads : {1, 4, 8}) b->Args({n, permille, threads});
+      for (int64_t threads : {1, 4, 8})
+        for (int64_t tier : {0, 1, 2})
+          b->Args({n, permille, threads, tier});
 }
+
+// Pins a SIMD tier for one run (0=scalar, 1=avx2, 2=fast) and labels the
+// row with the tier actually installed.
+struct ScopedBenchTier {
+  explicit ScopedBenchTier(benchmark::State& state, int64_t tier_arg) {
+    simd::Tier installed = simd::SetTier(static_cast<simd::Tier>(tier_arg));
+    state.SetLabel(simd::TierName(installed));
+  }
+  ~ScopedBenchTier() { simd::ResetTier(); }
+};
 
 Graph ErdosRenyi(size_t n, int64_t permille) {
   Rng rng(7);
@@ -81,6 +97,7 @@ Graph Regular(size_t n, int64_t permille) {
 }
 
 void RunSpMM(benchmark::State& state, const Graph& g) {
+  ScopedBenchTier tier(state, state.range(3));
   SetParallelThreadCount(static_cast<size_t>(state.range(2)));
   const CsrMatrix& a = g.Csr().adjacency();
   Rng rng(11);
@@ -100,6 +117,7 @@ void RunSpMM(benchmark::State& state, const Graph& g) {
 }
 
 void RunDense(benchmark::State& state, const Graph& g) {
+  ScopedBenchTier tier(state, state.range(3));
   SetParallelThreadCount(static_cast<size_t>(state.range(2)));
   Matrix a = g.AdjacencyMatrix();
   Rng rng(11);
@@ -136,6 +154,7 @@ BENCHMARK(BM_DenseAdjMatMul_ErdosRenyi)->Apply(SpmmSweep);
 // multiplying the dense normalized adjacency.
 void BM_SpMM_GcnNormalized(benchmark::State& state) {
   Graph g = ErdosRenyi(state.range(0), state.range(1));
+  ScopedBenchTier tier(state, state.range(3));
   SetParallelThreadCount(static_cast<size_t>(state.range(2)));
   const CsrMatrix& a = g.Csr().normalized();
   Rng rng(11);

@@ -4,11 +4,20 @@
 #   1. static analysis     — gelc_lint over src/tests/bench/examples/tools
 #   2. warning-clean build — -Wall -Wextra -Werror (GELC_WERROR is ON by
 #                            default; this run would catch a local opt-out)
-#   3. full ctest          — the tier-1 suite, including the gelc_lint and
-#                            thread-variant (GELC_NUM_THREADS=1/4) tests
-#   4. sanitizer ctest     — ASAN+UBSAN build, full suite again
+#   3. full ctest          — the tier-1 suite, including the gelc_lint,
+#                            thread-variant (GELC_NUM_THREADS=1/4), and
+#                            GELC_SIMD=0/fast simd_test variants
+#   4. forced-scalar ctest — the whole suite again with GELC_SIMD=0, so
+#                            every differential/bit-identity test also
+#                            certifies the scalar fallback tier a binary
+#                            lands on when cpuid lacks AVX2/FMA
+#   5. sanitizer ctest     — ASAN+UBSAN build, full suite again (this is
+#                            the run that chases the SIMD kernels' raw
+#                            pointer arithmetic, vector tails, and the
+#                            aligned-allocator new/delete pairing in
+#                            simd_test)
 #
-#   5. TSAN ctest          — TSAN build of the pool-worker-heavy suites:
+#   6. TSAN ctest          — TSAN build of the pool-worker-heavy suites:
 #                            the obs metrics shards / trace ring buffers
 #                            and the fused plan-execution kernels are
 #                            written from pool workers, so their
@@ -18,7 +27,7 @@
 #                            suites)
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast  skip steps 4 and 5 (the sanitizer rebuilds) for quick
+#   --fast  skip steps 5 and 6 (the sanitizer rebuilds) for quick
 #           iteration; the full run is still required before the PR.
 set -euo pipefail
 
@@ -27,33 +36,36 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
-echo "== [1/5] build (with -Werror) =="
+echo "== [1/6] build (with -Werror) =="
 cmake -B build -S . -DGELC_WERROR=ON >/dev/null
 cmake --build build -j >/dev/null
 
-echo "== [2/5] gelc_lint =="
+echo "== [2/6] gelc_lint =="
 ./build/tools/gelc_lint src tests bench examples tools
 
-echo "== [3/5] ctest =="
+echo "== [3/6] ctest =="
 (cd build && ctest --output-on-failure -j)
 
+echo "== [4/6] ctest with GELC_SIMD=0 (forced scalar tier) =="
+(cd build && GELC_SIMD=0 ctest --output-on-failure -j)
+
 if [[ "$fast" == "1" ]]; then
-  echo "== [4/5] SKIPPED (--fast): ASAN/UBSAN ctest =="
-  echo "== [5/5] SKIPPED (--fast): TSAN ctest =="
+  echo "== [5/6] SKIPPED (--fast): ASAN/UBSAN ctest =="
+  echo "== [6/6] SKIPPED (--fast): TSAN ctest =="
   exit 0
 fi
 
-echo "== [4/5] ASAN/UBSAN ctest =="
+echo "== [5/6] ASAN/UBSAN ctest =="
 cmake -B build-ubsan -S . -DGELC_ENABLE_ASAN=ON -DGELC_ENABLE_UBSAN=ON \
   >/dev/null
 cmake --build build-ubsan -j >/dev/null
 (cd build-ubsan && ctest --output-on-failure -j)
 
-echo "== [5/5] TSAN ctest =="
+echo "== [6/6] TSAN ctest =="
 cmake -B build-tsan -S . -DGELC_ENABLE_TSAN=ON >/dev/null
 cmake --build build-tsan -j --target obs_test parallel_test plan_test \
-  fuzz_test >/dev/null
+  fuzz_test simd_test >/dev/null
 (cd build-tsan && ctest --output-on-failure \
-  -R '^(obs_test|parallel_test|plan_test|fuzz_test)')
+  -R '^(obs_test|parallel_test|plan_test|fuzz_test|simd_test)')
 
 echo "check.sh: all gates green"

@@ -355,9 +355,9 @@ void Tape::Backward(ValueId root) {
         // Fused g ⊙ act'(in) accumulate: one pass, no temporary. Each
         // entry still computes t = g·f then ga += t, so the bits match
         // the copy-multiply-add formulation exactly.
-        const std::vector<double>& in = nodes_[n.a].value.data();
-        const std::vector<double>& gd = g.data();
-        std::vector<double>& ga = nodes_[n.a].grad.mutable_data();
+        const auto& in = nodes_[n.a].value.data();
+        const auto& gd = g.data();
+        auto& ga = nodes_[n.a].grad.mutable_data();
         for (size_t i = 0; i < ga.size(); ++i)
           ga[i] += gd[i] * ActivationGrad(n.act, in[i]);
         break;

@@ -1,0 +1,74 @@
+// Over-aligned storage for the tensor substrate.
+//
+// The SIMD kernel tier (tensor/simd.h) reads matrix storage with 256-bit
+// vector loads. Hardware handles unaligned vector loads, but aligned,
+// cache-line-resident buffers keep every load inside one line and make
+// the aligned-path DCHECKs in the kernels meaningful, so Matrix (and any
+// other vector-consumed buffer) allocates through this allocator at
+// 64-byte (cache line) alignment.
+#ifndef GELC_BASE_ALIGNED_H_
+#define GELC_BASE_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace gelc {
+
+/// Cache-line alignment used for all vector-kernel-visible buffers.
+inline constexpr size_t kVectorAlignment = 64;
+
+/// A minimal std::allocator drop-in that over-aligns every allocation.
+/// Stateless: all instances compare equal, so containers can move/swap
+/// storage freely.
+template <typename T, size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return false;
+  }
+};
+
+/// The double buffer type backing Matrix and the kernels' scratch rows:
+/// a std::vector whose data() is always 64-byte aligned.
+using AlignedVector =
+    std::vector<double, AlignedAllocator<double, kVectorAlignment>>;
+
+/// True when `p` sits on a kVectorAlignment boundary (DCHECK helper for
+/// the SIMD kernels).
+inline bool IsVectorAligned(const void* p) {
+  return (reinterpret_cast<uintptr_t>(p) % kVectorAlignment) == 0;
+}
+
+}  // namespace gelc
+
+#endif  // GELC_BASE_ALIGNED_H_

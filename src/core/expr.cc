@@ -174,7 +174,10 @@ size_t Expr::AggregationDepth() const {
 
 namespace {
 
-uint64_t HashDoubles(uint64_t seed, const std::vector<double>& v) {
+// Templated over the container: called with both std::vector<double>
+// (expression constants) and Matrix's AlignedVector storage.
+template <typename DoubleVec>
+uint64_t HashDoubles(uint64_t seed, const DoubleVec& v) {
   seed = HashCombine(seed, v.size());
   return HashCombine(seed, Fnv1a64(v.data(), v.size() * sizeof(double)));
 }
@@ -188,7 +191,8 @@ uint64_t HashMatrix(uint64_t seed, const Matrix& m) {
 // Exact byte equality, matching what the hashes above see: -0.0 and 0.0
 // (or two NaNs) in corresponding slots compare unequal, which only costs
 // a conservative cache miss.
-bool SameDoubles(const std::vector<double>& a, const std::vector<double>& b) {
+template <typename DoubleVec>
+bool SameDoubles(const DoubleVec& a, const DoubleVec& b) {
   return a.size() == b.size() &&
          (a.empty() ||
           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);

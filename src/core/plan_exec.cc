@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/fused.h"
+#include "tensor/simd.h"
 
 namespace gelc {
 
@@ -140,10 +141,8 @@ Result<Matrix> ExecutePlan(const Plan& plan, const Graph& g) {
       case PlanOpKind::kScale: {
         const Matrix& in = slots[op.inputs[0]];
         Matrix out(rows, dim);
-        const double c = op.scale;
-        for (size_t k = 0; k < out.data().size(); ++k) {
-          out.mutable_data()[k] = c * in.data()[k];
-        }
+        simd::ScaleRowCopy(out.mutable_data().data(), in.data().data(),
+                           op.scale, out.data().size());
         slots[i] = std::move(out);
         break;
       }
@@ -159,9 +158,9 @@ Result<Matrix> ExecutePlan(const Plan& plan, const Graph& g) {
           const double* brow = RowOf(b, bpv, r);
           double* orow = out.mutable_data().data() + r * dim;
           if (op.kind == PlanOpKind::kAdd) {
-            for (size_t j = 0; j < dim; ++j) orow[j] = arow[j] + brow[j];
+            simd::AddRowsTo(orow, arow, brow, dim);
           } else {
-            for (size_t j = 0; j < dim; ++j) orow[j] = arow[j] * brow[j];
+            simd::MulRowsTo(orow, arow, brow, dim);
           }
         }
         slots[i] = std::move(out);

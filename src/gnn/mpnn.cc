@@ -7,6 +7,7 @@
 #include "base/parallel.h"
 #include "tensor/fused.h"
 #include "tensor/segment.h"
+#include "tensor/simd.h"
 #include "tensor/sparse.h"
 
 namespace gelc {
@@ -59,21 +60,17 @@ Matrix AggregateNeighbors(const CsrMatrix& a, const Matrix& f,
         case Aggregation::kSum:
         case Aggregation::kMean:
           for (size_t k = begin; k < end; ++k) {
-            const double* frow = fdata + size_t{a.col_indices[k]} * d;
-            for (size_t j = 0; j < d; ++j) orow[j] += frow[j];
+            simd::AddRow(orow, fdata + size_t{a.col_indices[k]} * d, d);
           }
           if (agg == Aggregation::kMean) {
-            double deg = static_cast<double>(end - begin);
-            for (size_t j = 0; j < d; ++j) orow[j] /= deg;
+            simd::DivRow(orow, static_cast<double>(end - begin), d);
           }
           break;
         case Aggregation::kMax: {
           const double* first = fdata + size_t{a.col_indices[begin]} * d;
           for (size_t j = 0; j < d; ++j) orow[j] = first[j];
           for (size_t k = begin + 1; k < end; ++k) {
-            const double* frow = fdata + size_t{a.col_indices[k]} * d;
-            for (size_t j = 0; j < d; ++j)
-              orow[j] = std::max(orow[j], frow[j]);
+            simd::MaxRow(orow, fdata + size_t{a.col_indices[k]} * d, d);
           }
           break;
         }

@@ -208,6 +208,50 @@ void RuleBannedAlloc(const FileContext& ctx, std::vector<Diagnostic>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// intrinsics-outside-tensor: vector intrinsics (and the vector register
+// types) are confined to the SIMD kernel TUs (src/tensor/simd*), the one
+// place built with -mavx2 -mfma and audited against the bit-exactness
+// contract (DESIGN.md §11). An _mm256_* call anywhere else either fails
+// to compile (no vector flags) or silently drags vector codegen into a
+// baseline-ISA TU; both belong behind the dispatch layer (tensor/simd.h).
+// The lexer drops preprocessor lines, so the rule keys on identifiers
+// (_mm*, __m128/__m256/__m512 variants), not on #include <immintrin.h> —
+// any actual use of the header trips it anyway.
+// ---------------------------------------------------------------------------
+
+/// True for identifiers that only the x86 vector headers define:
+/// intrinsic calls (_mm_*, _mm256_*, _mm512_*) and register types
+/// (__m128*, __m256*, __m512*).
+bool IsVectorIntrinsicIdentifier(const std::string& w) {
+  if (w.compare(0, 3, "_mm") == 0) return true;
+  return w.compare(0, 6, "__m128") == 0 || w.compare(0, 6, "__m256") == 0 ||
+         w.compare(0, 6, "__m512") == 0;
+}
+
+void RuleIntrinsicsOutsideTensor(const FileContext& ctx,
+                                 std::vector<Diagnostic>* out) {
+  // Exempt exactly src/tensor/simd* (simd.h declares no intrinsics today,
+  // but the whole simd family is the sanctioned home).
+  if (PathHasComponent(ctx.path, "tensor")) {
+    size_t slash = ctx.path.find_last_of('/');
+    std::string_view base(ctx.path);
+    if (slash != std::string::npos) base.remove_prefix(slash + 1);
+    if (base.substr(0, 4) == "simd") return;
+  }
+  const Tokens& t = ctx.lex->tokens;
+  for (const Token& tok : t) {
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    if (!IsVectorIntrinsicIdentifier(tok.text)) continue;
+    Report(ctx, tok.line, "intrinsics-outside-tensor",
+           tok.text +
+               " outside src/tensor/simd*; vector code lives behind the "
+               "SIMD dispatch layer (tensor/simd.h) so the bit-exactness "
+               "contract stays auditable in one place",
+           out);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // include-hygiene: `using namespace` in a header leaks into every
 // includer.
 // ---------------------------------------------------------------------------
@@ -434,6 +478,7 @@ const std::vector<std::string>& AllRuleNames() {
       "segment-boundary-indexing",
       "raw-thread",        "adhoc-timing",
       "nondeterminism",    "banned-alloc",
+      "intrinsics-outside-tensor",
       "include-hygiene",
   };
   return kNames;
@@ -449,6 +494,7 @@ std::vector<Diagnostic> RunAllRules(const FileContext& ctx) {
   RuleAdhocTiming(ctx, &out);
   RuleNondeterminism(ctx, &out);
   RuleBannedAlloc(ctx, &out);
+  RuleIntrinsicsOutsideTensor(ctx, &out);
   RuleIncludeHygiene(ctx, &out);
   return out;
 }

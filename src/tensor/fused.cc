@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+#include "base/aligned.h"
 #include "base/logging.h"
 #include "base/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/simd.h"
 
 namespace gelc {
 
@@ -38,15 +40,15 @@ inline void AggregateRow(const CsrMatrix& csr, size_t v, const Matrix& values,
         size_t u = broadcast ? 0 : gather_source ? v : csr.col_indices[k];
         const double* x = vdata + u * d;
         if (csr.weighted()) {
-          const double w = csr.values[k];
-          for (size_t j = 0; j < d; ++j) acc[j] += w * x[j];
+          simd::AddScaledRow(acc, x, csr.values[k], d);
         } else {
-          for (size_t j = 0; j < d; ++j) acc[j] += x[j];
+          simd::AddRow(acc, x, d);
         }
       }
       if (agg == FusedAgg::kMean && end != begin) {
-        const double count = static_cast<double>(end - begin);
-        for (size_t j = 0; j < d; ++j) acc[j] /= count;
+        // Divide by the count (not multiply by the reciprocal): theta's
+        // mean finalization divides, and the bits differ.
+        simd::DivRow(acc, static_cast<double>(end - begin), d);
       }
       return;
     }
@@ -54,8 +56,7 @@ inline void AggregateRow(const CsrMatrix& csr, size_t v, const Matrix& values,
       std::fill(acc, acc + d, -std::numeric_limits<double>::infinity());
       for (size_t k = begin; k < end; ++k) {
         size_t u = broadcast ? 0 : gather_source ? v : csr.col_indices[k];
-        const double* x = vdata + u * d;
-        for (size_t j = 0; j < d; ++j) acc[j] = std::max(acc[j], x[j]);
+        simd::MaxRow(acc, vdata + u * d, d);
       }
       // Empty bags finalize to zeros, exactly like theta::Max.
       if (end == begin) std::fill(acc, acc + d, 0.0);
@@ -112,8 +113,8 @@ void FusedLayerInto(size_t n, const std::vector<FusedLayerArg>& args,
     // Per-shard scratch: the aggregated input row and the per-argument
     // partial sum. Rows are disjoint output slots, so any shard schedule
     // produces the same bits.
-    std::vector<double> agg_row(scratch_dim);
-    std::vector<double> partial(out_dim);
+    AlignedVector agg_row(scratch_dim);
+    AlignedVector partial(out_dim);
     for (size_t v = row_begin; v < row_end; ++v) {
       double* orow = odata + v * out_dim;
       for (size_t j = 0; j < out_dim; ++j) orow[j] = 0.0;
@@ -137,21 +138,12 @@ void FusedLayerInto(size_t n, const std::vector<FusedLayerArg>& args,
               (a.broadcast ? 0 : v) * a.values->cols();
         }
         const size_t d = a.w->rows();
-        const double* wdata = a.w->data().data();
         // Ascending-component fold through the weight — the same addition
         // chain per output cell as MatMul's i-k-j loop.
-        for (size_t c = 0; c < d; ++c) {
-          const double xc = x[c];
-          const double* wrow = wdata + c * out_dim;
-          for (size_t j = 0; j < out_dim; ++j) acc[j] += xc * wrow[j];
-        }
-        if (i != 0) {
-          for (size_t j = 0; j < out_dim; ++j) orow[j] += partial[j];
-        }
+        simd::LinearAccum(acc, x, a.w->data().data(), d, out_dim);
+        if (i != 0) simd::AddRow(orow, partial.data(), out_dim);
       }
-      if (bias_row != nullptr) {
-        for (size_t j = 0; j < out_dim; ++j) orow[j] += bias_row[j];
-      }
+      if (bias_row != nullptr) simd::AddRow(orow, bias_row, out_dim);
       for (size_t j = 0; j < out_dim; ++j) {
         orow[j] = ApplyActivation(act, orow[j]);
       }
@@ -162,6 +154,7 @@ void FusedLayerInto(size_t n, const std::vector<FusedLayerArg>& args,
   static obs::Counter* rows = obs::GetCounter("fused.layer_rows");
   calls->Increment();
   rows->Add(n);
+  simd::CountDispatch();
   GELC_TRACE_SPAN("fused_layer", {{"rows", n},
                                   {"args", args.size()},
                                   {"out_dim", out_dim}});
@@ -199,6 +192,7 @@ void NeighborAggregateInto(const CsrMatrix& csr, const Matrix& values,
   };
   static obs::Counter* calls = obs::GetCounter("fused.neighbor_agg_calls");
   calls->Increment();
+  simd::CountDispatch();
   const size_t row_work =
       std::max<size_t>(1, n == 0 ? 1 : (csr.nnz() / std::max<size_t>(n, 1) +
                                         1) * values.cols());
@@ -228,20 +222,18 @@ void FusedGinCombineInto(const CsrMatrix& csr, const Matrix& values, double c,
     // The neighbor sum folds into scratch first (not into the output row):
     // (c*x) + (n_1 + n_2 + ...) is the reference association, and IEEE
     // addition is not associative.
-    std::vector<double> agg(d);
+    AlignedVector agg(d);
     for (size_t v = row_begin; v < row_end; ++v) {
       std::fill(agg.begin(), agg.end(), 0.0);
       for (size_t k = csr.row_offsets[v]; k < csr.row_offsets[v + 1]; ++k) {
-        const double* x = vdata + size_t{csr.col_indices[k]} * d;
-        for (size_t j = 0; j < d; ++j) agg[j] += x[j];
+        simd::AddRow(agg.data(), vdata + size_t{csr.col_indices[k]} * d, d);
       }
-      const double* self = vdata + v * d;
-      double* orow = odata + v * d;
-      for (size_t j = 0; j < d; ++j) orow[j] = self[j] * c + agg[j];
+      simd::GinCombineRow(odata + v * d, vdata + v * d, c, agg.data(), d);
     }
   };
   static obs::Counter* calls = obs::GetCounter("fused.gin_combine_calls");
   calls->Increment();
+  simd::CountDispatch();
   GELC_TRACE_SPAN("fused_gin_combine", {{"rows", n}, {"d", d}});
   const size_t row_work =
       std::max<size_t>(1, (n == 0 ? 0 : csr.nnz() / n + 1) * d);
@@ -265,19 +257,17 @@ Matrix PoolRows(const Matrix& values, FusedAgg agg, size_t count,
     case FusedAgg::kSum:
     case FusedAgg::kMean: {
       for (size_t r = 0; r < count; ++r) {
-        const double* x = vdata + (broadcast ? 0 : r) * d;
-        for (size_t j = 0; j < d; ++j) acc[j] += x[j];
+        simd::AddRow(acc, vdata + (broadcast ? 0 : r) * d, d);
       }
       if (agg == FusedAgg::kMean && count != 0) {
-        for (size_t j = 0; j < d; ++j) acc[j] /= static_cast<double>(count);
+        simd::DivRow(acc, static_cast<double>(count), d);
       }
       break;
     }
     case FusedAgg::kMax: {
       std::fill(acc, acc + d, -std::numeric_limits<double>::infinity());
       for (size_t r = 0; r < count; ++r) {
-        const double* x = vdata + (broadcast ? 0 : r) * d;
-        for (size_t j = 0; j < d; ++j) acc[j] = std::max(acc[j], x[j]);
+        simd::MaxRow(acc, vdata + (broadcast ? 0 : r) * d, d);
       }
       if (count == 0) std::fill(acc, acc + d, 0.0);
       break;

@@ -7,16 +7,30 @@
 #include "base/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/simd.h"
 
 namespace gelc {
 
 namespace {
 
 // Flop count below which MatMul stays on the calling thread: tiny
-// GNN-layer products lose more to pool fan-out than they gain.
-constexpr size_t kMatMulSerialWork = size_t{1} << 16;
+// GNN-layer products lose more to pool fan-out than they gain. The
+// crossover moved when the vector tier landed: fan-out cost is fixed
+// (wake + shard + join) while the AVX2 kernel retires ~4-6x the madds
+// per cycle of the scalar one (BENCH_p7, 256-square single-thread:
+// ~1.97 vs ~11.7 G madds/s), so a product must be that much larger
+// before the same fan-out amortizes. The scalar constant keeps its
+// PR 1 value (2^16, re-validated then); the vector tiers scale it by
+// the measured throughput ratio, rounded to a power of two: 2^18.
+constexpr size_t kMatMulSerialWorkScalar = size_t{1} << 16;
+constexpr size_t kMatMulSerialWorkVector = size_t{1} << 18;
 // Target flops per shard when row-partitioning a parallel MatMul.
 constexpr size_t kMatMulShardWork = size_t{1} << 15;
+
+size_t MatMulSerialWork() {
+  return simd::ActiveTier() == simd::Tier::kScalar ? kMatMulSerialWorkScalar
+                                                   : kMatMulSerialWorkVector;
+}
 
 }  // namespace
 
@@ -52,7 +66,7 @@ Matrix Matrix::RandomGaussian(size_t rows, size_t cols, double stddev,
 
 Matrix Matrix::RowVector(const std::vector<double>& values) {
   Matrix m(1, values.size());
-  m.data_ = values;
+  m.data_.assign(values.begin(), values.end());
   return m;
 }
 
@@ -72,49 +86,17 @@ void Matrix::SetRow(size_t r, const Matrix& row) {
 void Matrix::MatMulImpl(const Matrix& other, Matrix* out) const {
   const size_t inner = cols_;
   const size_t ocols = other.cols_;
-  // i-k-j loop order for row-major cache friendliness. Each shard owns a
-  // contiguous row range of `out`, so any shard schedule produces the same
-  // bits as the serial loop.
-  auto row_range = [this, &other, out, inner, ocols](size_t row_begin,
-                                                     size_t row_end) {
-    for (size_t i = row_begin; i < row_end; ++i) {
-      const double* arow = &data_[i * inner];
-      double* orow = &out->data_[i * ocols];
-      // k unrolled by 4 so each output cell is read and written once per
-      // four k steps instead of once per step (the plain loop's dominant
-      // cost — two memory ops per multiply-add). Each cell's additions
-      // still happen one at a time in ascending-k order (four sequential
-      // rounding steps through a register), so the bits match the plain
-      // i-k-j loop exactly.
-      //
-      // No skip-zero branch: sparse operands go through SpMM
-      // (tensor/sparse.h); a data-dependent branch per element only
-      // pessimizes the dense inner loop.
-      size_t k = 0;
-      for (; k + 4 <= inner; k += 4) {
-        double a0 = arow[k];
-        double a1 = arow[k + 1];
-        double a2 = arow[k + 2];
-        double a3 = arow[k + 3];
-        const double* b0 = &other.data_[k * ocols];
-        const double* b1 = b0 + ocols;
-        const double* b2 = b1 + ocols;
-        const double* b3 = b2 + ocols;
-        for (size_t j = 0; j < ocols; ++j) {
-          double t = orow[j];
-          t += a0 * b0[j];
-          t += a1 * b1[j];
-          t += a2 * b2[j];
-          t += a3 * b3[j];
-          orow[j] = t;
-        }
-      }
-      for (; k < inner; ++k) {
-        double a = arow[k];
-        const double* brow = &other.data_[k * ocols];
-        for (size_t j = 0; j < ocols; ++j) orow[j] += a * brow[j];
-      }
-    }
+  // The inner loops live behind the simd dispatch layer (tensor/simd.h):
+  // the installed tier picks scalar i-k-j, cache-blocked AVX2, or FMA
+  // bodies, all accumulating each output cell in ascending-k order. Each
+  // shard owns a contiguous row range of `out`, so any shard schedule
+  // produces the same bits as the serial loop.
+  const double* adata = data_.data();
+  const double* bdata = other.data_.data();
+  double* odata = out->data_.data();
+  auto row_range = [adata, bdata, odata, inner, ocols](size_t row_begin,
+                                                       size_t row_end) {
+    simd::MatMulRows(adata, bdata, odata, row_begin, row_end, inner, ocols);
   };
   const size_t work = rows_ * inner * ocols;
   static obs::Counter* calls = obs::GetCounter("matmul.calls");
@@ -123,9 +105,10 @@ void Matrix::MatMulImpl(const Matrix& other, Matrix* out) const {
   calls->Increment();
   flops->Add(2 * work);  // one multiply + one add per (i, k, j) triple
   out_rows->Add(rows_);
+  simd::CountDispatch();
   GELC_TRACE_SPAN("matmul", {{"rows", rows_}, {"inner", inner},
                              {"ocols", ocols}});
-  if (work < kMatMulSerialWork) {
+  if (work < MatMulSerialWork()) {
     static obs::Counter* serial = obs::GetCounter("matmul.serial_dispatch");
     serial->Increment();
     row_range(0, rows_);

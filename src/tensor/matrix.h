@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "base/aligned.h"
 #include "base/logging.h"
 #include "base/rng.h"
 #include "base/status.h"
@@ -61,8 +62,8 @@ class Matrix {
   double& operator()(size_t r, size_t c) { return At(r, c); }
   double operator()(size_t r, size_t c) const { return At(r, c); }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& mutable_data() { return data_; }
+  const AlignedVector& data() const { return data_; }
+  AlignedVector& mutable_data() { return data_; }
 
   /// Returns row r as a 1 x cols matrix.
   Matrix Row(size_t r) const;
@@ -135,7 +136,9 @@ class Matrix {
 
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  // 64-byte aligned so the SIMD kernel tier (tensor/simd.h) can assume
+  // cache-line-resident base pointers.
+  AlignedVector data_;
 };
 
 inline Matrix operator*(double s, const Matrix& m) { return m * s; }

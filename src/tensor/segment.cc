@@ -5,6 +5,7 @@
 
 #include "base/logging.h"
 #include "base/parallel.h"
+#include "tensor/simd.h"
 
 namespace gelc {
 
@@ -50,11 +51,11 @@ Matrix SegmentSum(const Matrix& f, const std::vector<size_t>& offsets) {
   Matrix out(k, d);
   const double* fdata = f.data().data();
   double* odata = out.mutable_data().data();
+  simd::CountDispatch();
   ForEachSegment(k, f.rows() * std::max<size_t>(d, 1), [&](size_t s) {
     double* orow = odata + s * d;
     for (size_t i = offsets[s]; i < offsets[s + 1]; ++i) {
-      const double* frow = fdata + i * d;
-      for (size_t j = 0; j < d; ++j) orow[j] += frow[j];
+      simd::AddRow(orow, fdata + i * d, d);
     }
   });
   return out;
@@ -67,16 +68,17 @@ Matrix SegmentMean(const Matrix& f, const std::vector<size_t>& offsets) {
   Matrix out(k, d);
   const double* fdata = f.data().data();
   double* odata = out.mutable_data().data();
+  simd::CountDispatch();
   ForEachSegment(k, f.rows() * std::max<size_t>(d, 1), [&](size_t s) {
     size_t count = offsets[s + 1] - offsets[s];
     if (count == 0) return;
     double* orow = odata + s * d;
     for (size_t i = offsets[s]; i < offsets[s + 1]; ++i) {
-      const double* frow = fdata + i * d;
-      for (size_t j = 0; j < d; ++j) orow[j] += frow[j];
+      simd::AddRow(orow, fdata + i * d, d);
     }
-    double inv = 1.0 / static_cast<double>(count);
-    for (size_t j = 0; j < d; ++j) orow[j] *= inv;
+    // Multiply by the reciprocal (not DivRow): this kernel has always
+    // scaled by 1/count, and the differential tests pin those bits.
+    simd::ScaleRow(orow, 1.0 / static_cast<double>(count), d);
   });
   return out;
 }
@@ -90,6 +92,7 @@ Matrix SegmentMax(const Matrix& f, const std::vector<size_t>& offsets,
   if (argmax_rows != nullptr) argmax_rows->assign(k * d, f.rows());
   const double* fdata = f.data().data();
   double* odata = out.mutable_data().data();
+  simd::CountDispatch();
   ForEachSegment(k, f.rows() * std::max<size_t>(d, 1), [&](size_t s) {
     size_t begin = offsets[s];
     size_t end = offsets[s + 1];
@@ -98,8 +101,7 @@ Matrix SegmentMax(const Matrix& f, const std::vector<size_t>& offsets,
     const double* first = fdata + begin * d;
     for (size_t j = 0; j < d; ++j) orow[j] = first[j];
     for (size_t i = begin + 1; i < end; ++i) {
-      const double* frow = fdata + i * d;
-      for (size_t j = 0; j < d; ++j) orow[j] = std::max(orow[j], frow[j]);
+      simd::MaxRow(orow, fdata + i * d, d);
     }
     if (argmax_rows != nullptr) {
       size_t* arow = argmax_rows->data() + s * d;

@@ -1,0 +1,279 @@
+// SIMD tier resolution and the scalar reference kernels.
+//
+// This TU is compiled for the baseline ISA: the scalar kernels here are
+// the bit-exactness oracle every vector tier is measured against, and
+// they are byte-for-byte the loops that lived in matrix.cc / sparse.cc /
+// fused.cc / segment.cc before the dispatch layer existed — moving them
+// must not change a single rounding step.
+#include "tensor/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/aligned.h"
+#include "base/logging.h"
+#include "obs/metrics.h"
+#include "tensor/simd_internal.h"
+
+namespace gelc {
+namespace simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier.
+// ---------------------------------------------------------------------------
+
+// The i-k-j product with the k-unroll-by-4 from Matrix::MatMulImpl: each
+// output cell is read and written once per four k steps, but its
+// additions still happen one at a time in ascending-k order (four
+// sequential rounding steps through a register), so the bits match the
+// plain i-k-j loop exactly. No skip-zero branch: sparse operands go
+// through SpMM.
+void MatMulRowsScalar(const double* a, const double* b, double* out,
+                      size_t row_begin, size_t row_end, size_t inner,
+                      size_t ocols) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const double* arow = a + i * inner;
+    double* orow = out + i * ocols;
+    size_t k = 0;
+    for (; k + 4 <= inner; k += 4) {
+      double a0 = arow[k];
+      double a1 = arow[k + 1];
+      double a2 = arow[k + 2];
+      double a3 = arow[k + 3];
+      const double* b0 = b + k * ocols;
+      const double* b1 = b0 + ocols;
+      const double* b2 = b1 + ocols;
+      const double* b3 = b2 + ocols;
+      for (size_t j = 0; j < ocols; ++j) {
+        double t = orow[j];
+        t += a0 * b0[j];
+        t += a1 * b1[j];
+        t += a2 * b2[j];
+        t += a3 * b3[j];
+        orow[j] = t;
+      }
+    }
+    for (; k < inner; ++k) {
+      double av = arow[k];
+      const double* brow = b + k * ocols;
+      for (size_t j = 0; j < ocols; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// The CSR row walk from SpMMInto: nonzeros in ascending column order,
+// one multiply-add (or add, unweighted) per (nonzero, column) pair.
+void SpMMRowsScalar(const size_t* row_offsets, const uint32_t* col_indices,
+                    const double* values, const double* b, double* out,
+                    size_t row_begin, size_t row_end, size_t d) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    double* orow = out + i * d;
+    GELC_DCHECK_LE(row_offsets[i], row_offsets[i + 1]);
+    for (size_t k = row_offsets[i]; k < row_offsets[i + 1]; ++k) {
+      const double* brow = b + size_t{col_indices[k]} * d;
+      if (values != nullptr) {
+        const double w = values[k];
+        for (size_t j = 0; j < d; ++j) orow[j] += w * brow[j];
+      } else {
+        for (size_t j = 0; j < d; ++j) orow[j] += brow[j];
+      }
+    }
+  }
+}
+
+void AddRowScalar(double* acc, const double* x, size_t d) {
+  for (size_t j = 0; j < d; ++j) acc[j] += x[j];
+}
+
+void AddScaledRowScalar(double* acc, const double* x, double w, size_t d) {
+  for (size_t j = 0; j < d; ++j) acc[j] += w * x[j];
+}
+
+void MaxRowScalar(double* acc, const double* x, size_t d) {
+  // (acc < x) ? x : acc — exactly std::max(acc, x).
+  for (size_t j = 0; j < d; ++j) acc[j] = acc[j] < x[j] ? x[j] : acc[j];
+}
+
+void ScaleRowScalar(double* acc, double s, size_t d) {
+  for (size_t j = 0; j < d; ++j) acc[j] *= s;
+}
+
+void DivRowScalar(double* acc, double s, size_t d) {
+  for (size_t j = 0; j < d; ++j) acc[j] /= s;
+}
+
+void GinCombineRowScalar(double* out, const double* self, double c,
+                         const double* agg, size_t d) {
+  for (size_t j = 0; j < d; ++j) out[j] = self[j] * c + agg[j];
+}
+
+void LinearAccumScalar(double* acc, const double* x, const double* w,
+                       size_t d, size_t out_dim) {
+  for (size_t c = 0; c < d; ++c) {
+    const double xc = x[c];
+    const double* wrow = w + c * out_dim;
+    for (size_t j = 0; j < out_dim; ++j) acc[j] += xc * wrow[j];
+  }
+}
+
+void ScaleRowCopyScalar(double* out, const double* x, double s, size_t d) {
+  for (size_t j = 0; j < d; ++j) out[j] = s * x[j];
+}
+
+void AddRowsToScalar(double* out, const double* a, const double* b,
+                     size_t d) {
+  for (size_t j = 0; j < d; ++j) out[j] = a[j] + b[j];
+}
+
+void MulRowsToScalar(double* out, const double* a, const double* b,
+                     size_t d) {
+  for (size_t j = 0; j < d; ++j) out[j] = a[j] * b[j];
+}
+
+constexpr internal::KernelTable kScalarTable = {
+    MatMulRowsScalar, SpMMRowsScalar,     AddRowScalar,
+    AddScaledRowScalar, MaxRowScalar,     ScaleRowScalar,
+    DivRowScalar,      GinCombineRowScalar, LinearAccumScalar,
+    ScaleRowCopyScalar, AddRowsToScalar,  MulRowsToScalar,
+};
+
+// ---------------------------------------------------------------------------
+// Tier resolution and installation.
+// ---------------------------------------------------------------------------
+
+// The installed tier. Written only by Install() (static init, SetTier,
+// ResetTier — all single-threaded by contract); read on every kernel
+// dispatch decision.
+Tier g_tier = Tier::kScalar;
+
+const internal::KernelTable* TableFor(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return &kScalarTable;
+    case Tier::kAvx2:
+      return internal::Avx2Table();
+    case Tier::kFast:
+      return internal::FastTable();
+  }
+  return &kScalarTable;
+}
+
+// Binds every dispatch pointer to `tier`, degrading to scalar when the
+// vector table is unavailable. Returns the tier actually installed.
+Tier Install(Tier tier) {
+  if (tier != Tier::kScalar &&
+      (!CpuHasAvx2Fma() || TableFor(tier) == nullptr)) {
+    tier = Tier::kScalar;
+  }
+  const internal::KernelTable* t = TableFor(tier);
+  MatMulRows = t->matmul_rows;
+  SpMMRows = t->spmm_rows;
+  AddRow = t->add_row;
+  AddScaledRow = t->add_scaled_row;
+  MaxRow = t->max_row;
+  ScaleRow = t->scale_row;
+  DivRow = t->div_row;
+  GinCombineRow = t->gin_combine_row;
+  LinearAccum = t->linear_accum;
+  ScaleRowCopy = t->scale_row_copy;
+  AddRowsTo = t->add_rows_to;
+  MulRowsTo = t->mul_rows_to;
+  g_tier = tier;
+  return tier;
+}
+
+// Resolve GELC_SIMD + cpuid once before main(). Any kernel call that
+// races this (another TU's static initializer) sees the scalar defaults
+// below, which are always correct.
+const bool g_simd_resolved = [] {
+  Install(TierFromEnvValue(std::getenv("GELC_SIMD"), CpuHasAvx2Fma()));
+  return true;
+}();
+
+}  // namespace
+
+// Constant-initialized to the scalar tier so calls during static init
+// are well-defined even before g_simd_resolved runs.
+void (*MatMulRows)(const double*, const double*, double*, size_t, size_t,
+                   size_t, size_t) = MatMulRowsScalar;
+void (*SpMMRows)(const size_t*, const uint32_t*, const double*,
+                 const double*, double*, size_t, size_t,
+                 size_t) = SpMMRowsScalar;
+void (*AddRow)(double*, const double*, size_t) = AddRowScalar;
+void (*AddScaledRow)(double*, const double*, double,
+                     size_t) = AddScaledRowScalar;
+void (*MaxRow)(double*, const double*, size_t) = MaxRowScalar;
+void (*ScaleRow)(double*, double, size_t) = ScaleRowScalar;
+void (*DivRow)(double*, double, size_t) = DivRowScalar;
+void (*GinCombineRow)(double*, const double*, double, const double*,
+                      size_t) = GinCombineRowScalar;
+void (*LinearAccum)(double*, const double*, const double*, size_t,
+                    size_t) = LinearAccumScalar;
+void (*ScaleRowCopy)(double*, const double*, double,
+                     size_t) = ScaleRowCopyScalar;
+void (*AddRowsTo)(double*, const double*, const double*,
+                  size_t) = AddRowsToScalar;
+void (*MulRowsTo)(double*, const double*, const double*,
+                  size_t) = MulRowsToScalar;
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool has = __builtin_cpu_supports("avx2") &&
+                          __builtin_cpu_supports("fma");
+  return has;
+#else
+  return false;
+#endif
+}
+
+Tier ActiveTier() { return g_tier; }
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kFast:
+      return "fast";
+  }
+  return "unknown";
+}
+
+Tier TierFromEnvValue(const char* value, bool hw_avx2_fma) {
+  if (value != nullptr &&
+      (std::strcmp(value, "0") == 0 || std::strcmp(value, "scalar") == 0)) {
+    return Tier::kScalar;
+  }
+  if (!hw_avx2_fma) return Tier::kScalar;
+  if (value != nullptr && std::strcmp(value, "fast") == 0) return Tier::kFast;
+  return Tier::kAvx2;
+}
+
+Tier SetTier(Tier tier) { return Install(tier); }
+
+void ResetTier() {
+  Install(TierFromEnvValue(std::getenv("GELC_SIMD"), CpuHasAvx2Fma()));
+}
+
+void CountDispatch() {
+  static obs::Counter* scalar = obs::GetCounter("simd.scalar_dispatches");
+  static obs::Counter* avx2 = obs::GetCounter("simd.avx2_dispatches");
+  static obs::Counter* fast = obs::GetCounter("simd.fast_dispatches");
+  switch (g_tier) {
+    case Tier::kScalar:
+      scalar->Increment();
+      return;
+    case Tier::kAvx2:
+      avx2->Increment();
+      return;
+    case Tier::kFast:
+      fast->Increment();
+      return;
+  }
+}
+
+}  // namespace simd
+}  // namespace gelc

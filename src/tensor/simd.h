@@ -1,0 +1,147 @@
+// Runtime-dispatched SIMD kernel tier for the dense/sparse substrate.
+//
+// Every hot inner loop under src/tensor funnels through the entry points
+// declared here. Each entry point is a mutable function pointer bound
+// once per process to one of three implementations (DESIGN.md §11):
+//
+//   kScalar  the reference loops, compiled without vector flags. Always
+//            available; the bit-exactness oracle.
+//   kAvx2    AVX2 vectorization of the same loops, arranged so every
+//            output cell sees the exact same sequence of IEEE operations
+//            as the scalar tier (multiply-then-add, ascending reduction
+//            order, std::max blend semantics). Bit-identical to kScalar
+//            at any thread count — this is the default on AVX2+FMA
+//            hardware.
+//   kFast    the kAvx2 structure with fused multiply-add. FMA rounds
+//            once per madd instead of twice, so bits may differ from the
+//            scalar tier (usually they are *more* accurate). Explicit
+//            opt-in via GELC_SIMD=fast; validated by a tolerance-checked
+//            differential test (tests/simd_test.cc), mirroring the PR 5
+//            differential layer.
+//
+// Selection: GELC_SIMD=0|scalar forces kScalar; GELC_SIMD=fast requests
+// kFast; unset / 1 / avx2 picks kAvx2. Vector tiers silently fall back
+// to kScalar when cpuid lacks AVX2 or FMA, so a binary built here runs
+// anywhere. The AVX2/FMA bodies live in simd_avx2.cc, the only TU built
+// with -mavx2 -mfma (the intrinsics-outside-tensor lint rule keeps it
+// that way); everything else, including this dispatch layer and the
+// scalar tier, compiles for the baseline ISA.
+#ifndef GELC_TENSOR_SIMD_H_
+#define GELC_TENSOR_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gelc {
+namespace simd {
+
+enum class Tier { kScalar, kAvx2, kFast };
+
+/// True when cpuid reports both AVX2 and FMA.
+bool CpuHasAvx2Fma();
+
+/// The tier the kernels below currently dispatch to.
+Tier ActiveTier();
+
+/// "scalar" / "avx2" / "fast".
+const char* TierName(Tier tier);
+
+/// Parses a GELC_SIMD value against hardware capability: "0"/"scalar"
+/// force kScalar, "fast" requests kFast, anything else (including
+/// nullptr, the unset case) picks the default. Vector tiers degrade to
+/// kScalar when `hw_avx2_fma` is false. Exposed for tests.
+Tier TierFromEnvValue(const char* value, bool hw_avx2_fma);
+
+/// Overrides the active tier (benchmarks sweep scalar/avx2/fast with
+/// this; tests compare tiers in-process). Vector tiers degrade to
+/// kScalar on non-AVX2 hardware; returns the tier actually installed.
+/// Not thread-safe against concurrently executing kernels — call it
+/// only between kernel invocations, like SetParallelThreadCount.
+Tier SetTier(Tier tier);
+
+/// Restores the GELC_SIMD / cpuid default resolution.
+void ResetTier();
+
+/// Increments the per-tier dispatch counter (simd.scalar_dispatches /
+/// simd.avx2_dispatches / simd.fast_dispatches). The kernel wrappers in
+/// matrix.cc, sparse.cc, fused.cc and segment.cc call this once per
+/// kernel invocation, so the obs snapshot records how many kernel
+/// dispatches each tier served.
+void CountDispatch();
+
+// ---------------------------------------------------------------------------
+// Dispatched kernels. All pointers are bound at static initialization to
+// the scalar tier and rebound by the resolver (or SetTier) before main();
+// a call that races static init simply runs the scalar reference.
+//
+// Contract shared by every kernel: each output cell accumulates in the
+// same ascending order as the reference loops in matrix.cc / sparse.cc /
+// fused.cc / segment.cc, so kScalar and kAvx2 produce identical bits and
+// rows remain disjoint output slots under ParallelFor.
+// ---------------------------------------------------------------------------
+
+/// Rows [row_begin, row_end) of out += a * b, where a is (rows x inner),
+/// b is (inner x ocols), both row-major, and the out rows are already
+/// zeroed. `a`, `b`, `out` are full-matrix base pointers (64-byte
+/// aligned, see base/aligned.h). The vector tiers k-panel-block the
+/// reduction and register-tile 4x8 output blocks; panel boundaries
+/// load/store the exact partial sums, so the per-cell addition chain is
+/// unchanged.
+extern void (*MatMulRows)(const double* a, const double* b, double* out,
+                          size_t row_begin, size_t row_end, size_t inner,
+                          size_t ocols);
+
+/// Rows [row_begin, row_end) of the CSR product out += csr * b with
+/// `d = b.cols()`. `values` is null for an unweighted (all-1.0) matrix.
+/// The out rows are already zeroed; `b` and `out` are full-matrix base
+/// pointers. The vector tiers prefetch the b-row of a later column index
+/// while accumulating the current one.
+extern void (*SpMMRows)(const size_t* row_offsets,
+                        const uint32_t* col_indices, const double* values,
+                        const double* b, double* out, size_t row_begin,
+                        size_t row_end, size_t d);
+
+/// acc[j] += x[j] for j in [0, d).
+extern void (*AddRow)(double* acc, const double* x, size_t d);
+
+/// acc[j] += w * x[j] for j in [0, d).
+extern void (*AddScaledRow)(double* acc, const double* x, double w,
+                            size_t d);
+
+/// acc[j] = std::max(acc[j], x[j]) for j in [0, d) — exact std::max
+/// semantics (keep acc on ties, NaN in x, and the signed-zero cases), in
+/// every tier.
+extern void (*MaxRow)(double* acc, const double* x, size_t d);
+
+/// acc[j] *= s for j in [0, d).
+extern void (*ScaleRow)(double* acc, double s, size_t d);
+
+/// acc[j] /= s for j in [0, d). Kept distinct from ScaleRow(1/s):
+/// theta's mean finalization divides by the count, and IEEE division is
+/// not a multiply by the reciprocal.
+extern void (*DivRow)(double* acc, double s, size_t d);
+
+/// out[j] = self[j] * c + agg[j] for j in [0, d) (the GIN combine).
+extern void (*GinCombineRow)(double* out, const double* self, double c,
+                             const double* agg, size_t d);
+
+/// acc[j] += Σ_c x[c] * w[c * out_dim + j], c ascending from 0 — the
+/// fused layer's per-argument weight fold (a 1-row matmul against the
+/// d x out_dim weight slice).
+extern void (*LinearAccum)(double* acc, const double* x, const double* w,
+                           size_t d, size_t out_dim);
+
+/// out[j] = s * x[j] for j in [0, d) (the plan executor's kScale).
+extern void (*ScaleRowCopy)(double* out, const double* x, double s,
+                            size_t d);
+
+/// out[j] = a[j] + b[j] / out[j] = a[j] * b[j] (plan kAdd / kMul rows).
+extern void (*AddRowsTo)(double* out, const double* a, const double* b,
+                         size_t d);
+extern void (*MulRowsTo)(double* out, const double* a, const double* b,
+                         size_t d);
+
+}  // namespace simd
+}  // namespace gelc
+
+#endif  // GELC_TENSOR_SIMD_H_

@@ -1,0 +1,50 @@
+// Internal glue between the SIMD dispatch layer (simd.cc) and the
+// AVX2/FMA translation unit (simd_avx2.cc). Not for use outside
+// src/tensor/simd*.
+#ifndef GELC_TENSOR_SIMD_INTERNAL_H_
+#define GELC_TENSOR_SIMD_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gelc {
+namespace simd {
+namespace internal {
+
+/// One implementation of every dispatched kernel (see simd.h for the
+/// per-kernel contracts).
+struct KernelTable {
+  void (*matmul_rows)(const double* a, const double* b, double* out,
+                      size_t row_begin, size_t row_end, size_t inner,
+                      size_t ocols);
+  void (*spmm_rows)(const size_t* row_offsets, const uint32_t* col_indices,
+                    const double* values, const double* b, double* out,
+                    size_t row_begin, size_t row_end, size_t d);
+  void (*add_row)(double* acc, const double* x, size_t d);
+  void (*add_scaled_row)(double* acc, const double* x, double w, size_t d);
+  void (*max_row)(double* acc, const double* x, size_t d);
+  void (*scale_row)(double* acc, double s, size_t d);
+  void (*div_row)(double* acc, double s, size_t d);
+  void (*gin_combine_row)(double* out, const double* self, double c,
+                          const double* agg, size_t d);
+  void (*linear_accum)(double* acc, const double* x, const double* w,
+                       size_t d, size_t out_dim);
+  void (*scale_row_copy)(double* out, const double* x, double s, size_t d);
+  void (*add_rows_to)(double* out, const double* a, const double* b,
+                      size_t d);
+  void (*mul_rows_to)(double* out, const double* a, const double* b,
+                      size_t d);
+};
+
+/// The AVX2 (multiply-then-add, bit-identical to scalar) and FMA (fast)
+/// tables, defined in simd_avx2.cc. Null when that TU was compiled
+/// without AVX2/FMA support (non-x86 target or a compiler without
+/// -mavx2): the dispatcher then pins the scalar tier.
+const KernelTable* Avx2Table();
+const KernelTable* FastTable();
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace gelc
+
+#endif  // GELC_TENSOR_SIMD_INTERNAL_H_

@@ -6,6 +6,7 @@
 #include "base/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/simd.h"
 
 namespace gelc {
 
@@ -88,23 +89,22 @@ void SpMMInto(const CsrMatrix& a, const Matrix& b, Matrix* out) {
   } else {
     *out = Matrix(a.rows, d);
   }
+#ifndef NDEBUG
+  // Column bounds used to be checked inside the row loop; the dispatched
+  // kernels (tensor/simd.h) take raw pointers, so validate up front.
+  for (uint32_t c : a.col_indices) GELC_DCHECK_LT(c, a.cols);
+#endif
   const double* bdata = b.data().data();
   double* odata = out->mutable_data().data();
-  auto row_range = [&a, bdata, odata, d](size_t row_begin, size_t row_end) {
-    for (size_t i = row_begin; i < row_end; ++i) {
-      double* orow = odata + i * d;
-      GELC_DCHECK_LE(a.row_offsets[i], a.row_offsets[i + 1]);
-      for (size_t k = a.row_offsets[i]; k < a.row_offsets[i + 1]; ++k) {
-        GELC_DCHECK_LT(a.col_indices[k], a.cols);
-        const double* brow = bdata + size_t{a.col_indices[k]} * d;
-        if (a.weighted()) {
-          const double w = a.values[k];
-          for (size_t j = 0; j < d; ++j) orow[j] += w * brow[j];
-        } else {
-          for (size_t j = 0; j < d; ++j) orow[j] += brow[j];
-        }
-      }
-    }
+  // The row walk is the dispatched SpMMRows kernel: ascending-index
+  // accumulation per output row in every tier, with b-row prefetch in the
+  // vector tiers.
+  const size_t* offsets = a.row_offsets.data();
+  const uint32_t* cols = a.col_indices.data();
+  const double* vals = a.weighted() ? a.values.data() : nullptr;
+  auto row_range = [offsets, cols, vals, bdata, odata, d](size_t row_begin,
+                                                          size_t row_end) {
+    simd::SpMMRows(offsets, cols, vals, bdata, odata, row_begin, row_end, d);
   };
   const size_t work = a.nnz() * std::max<size_t>(d, 1);
   static obs::Counter* calls = obs::GetCounter("spmm.calls");
@@ -113,6 +113,7 @@ void SpMMInto(const CsrMatrix& a, const Matrix& b, Matrix* out) {
   calls->Increment();
   flops->Add(2 * work);  // one multiply + one add per (nnz, j) pair
   out_rows->Add(a.rows);
+  simd::CountDispatch();
   GELC_TRACE_SPAN("spmm", {{"rows", a.rows}, {"nnz", a.nnz()}, {"d", d}});
   if (work < kSpMMSerialWork || a.rows == 0) {
     static obs::Counter* serial = obs::GetCounter("spmm.serial_dispatch");

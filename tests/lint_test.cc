@@ -196,6 +196,45 @@ TEST(RulesTest, BannedAllocAllowsDeletedFunctionsAndPlacement) {
       RunOn("src/a.h", "void* operator new(std::size_t);").empty());
 }
 
+TEST(RulesTest, IntrinsicsFireOutsideTensorSimd) {
+  auto diags = RunOn("src/gnn/mpnn.cc",
+                     "__m256d acc = _mm256_loadu_pd(p);\n"
+                     "acc = _mm256_add_pd(acc, acc);");
+  EXPECT_EQ(RulesOf(diags),
+            (std::vector<std::string>{"intrinsics-outside-tensor",
+                                      "intrinsics-outside-tensor",
+                                      "intrinsics-outside-tensor"}));
+  // SSE and AVX-512 spellings are covered too, including a tensor/ file
+  // that is not part of the simd family.
+  EXPECT_EQ(RunOn("src/tensor/matrix.cc", "__m128 v; _mm_prefetch(p, 0);")
+                .size(),
+            2u);
+  EXPECT_EQ(RunOn("src/core/plan_exec.cc", "__m512d z = _mm512_setzero_pd();")
+                .size(),
+            2u);
+}
+
+TEST(RulesTest, IntrinsicsExemptInTensorSimdFamily) {
+  EXPECT_TRUE(
+      RunOn("src/tensor/simd_avx2.cc", "__m256d v = _mm256_set1_pd(1.0);")
+          .empty());
+  EXPECT_TRUE(RunOn("src/tensor/simd.cc", "_mm_prefetch(p, 0);").empty());
+  EXPECT_TRUE(RunOn("src/tensor/simd.h", "__m256d v;").empty());
+  // A simd-prefixed file outside tensor/ is not exempt.
+  EXPECT_FALSE(RunOn("src/base/simd_util.h", "__m256d v;").empty());
+}
+
+TEST(RulesTest, IntrinsicsNotFooledByLookalikes) {
+  // Ordinary identifiers that merely start with _m or mention simd.
+  EXPECT_TRUE(
+      RunOn("src/a.cc", "int _max = 3; auto simd_mode = GetSimdMode();")
+          .empty());
+  // Preprocessor lines are skipped by the lexer, so a include-guard-style
+  // macro mentioning __m256 in a comment or #define doesn't fire.
+  EXPECT_TRUE(RunOn("src/a.cc", "#define HAS__m256 1\n// __m256d docs\n")
+                  .empty());
+}
+
 TEST(RulesTest, IncludeHygieneOnlyInHeaders) {
   EXPECT_EQ(RunOn("src/a.h", "using namespace std;").size(), 1u);
   EXPECT_EQ(RunOn("src/a.h", "using namespace std;")[0].rule,
@@ -398,12 +437,12 @@ TEST(ReportTest, JsonEscapesSpecialCharacters) {
 
 TEST(ReportTest, AllRuleNamesListedOnce) {
   const auto& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.size(), 10u);
   for (const char* expected :
        {"unchecked-status", "dense-adjacency-in-hot-path",
         "interpreter-in-hot-path", "segment-boundary-indexing",
         "raw-thread", "adhoc-timing", "nondeterminism", "banned-alloc",
-        "include-hygiene"}) {
+        "intrinsics-outside-tensor", "include-hygiene"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }

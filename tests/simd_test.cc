@@ -1,0 +1,347 @@
+// Tests for the SIMD kernel tier (tensor/simd.h): tier resolution, the
+// bit-exactness contract between the scalar and AVX2 tiers at both ends
+// of the thread range, the tolerance contract of the opt-in FMA tier,
+// and the dispatch observability counters.
+#include "tensor/simd.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/aligned.h"
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "obs/metrics.h"
+#include "tensor/fused.h"
+#include "tensor/matrix.h"
+#include "tensor/segment.h"
+#include "tensor/sparse.h"
+
+namespace gelc {
+namespace {
+
+using simd::Tier;
+
+// Restores the GELC_SIMD / cpuid default resolution on scope exit, so a
+// test that pins tiers never leaks its override into later tests.
+struct ScopedTier {
+  explicit ScopedTier(Tier t) { simd::SetTier(t); }
+  ~ScopedTier() { simd::ResetTier(); }
+};
+
+struct ScopedThreads {
+  explicit ScopedThreads(size_t n) { SetParallelThreadCount(n); }
+  ~ScopedThreads() { SetParallelThreadCount(0); }
+};
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::RandomUniform(rows, cols, -1.0, 1.0, &rng);
+}
+
+// A CSR matrix with ~`density` nonzeros per slot; `weighted` keeps the
+// sampled values, otherwise the structure carries implicit 1.0 weights.
+CsrMatrix RandomCsr(size_t rows, size_t cols, double density, bool weighted,
+                    uint64_t seed) {
+  Rng rng(seed);
+  Matrix dense(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (rng.NextUniform(0.0, 1.0) < density) {
+        dense.At(i, j) = rng.NextUniform(-2.0, 2.0);
+      }
+    }
+  }
+  CsrMatrix csr = CsrMatrix::FromDense(dense);
+  if (!weighted) csr.values.clear();
+  return csr;
+}
+
+// ---------------------------------------------------------------------------
+// Tier resolution.
+// ---------------------------------------------------------------------------
+
+TEST(SimdTierTest, EnvValueParsing) {
+  EXPECT_EQ(simd::TierFromEnvValue("0", true), Tier::kScalar);
+  EXPECT_EQ(simd::TierFromEnvValue("scalar", true), Tier::kScalar);
+  EXPECT_EQ(simd::TierFromEnvValue("fast", true), Tier::kFast);
+  EXPECT_EQ(simd::TierFromEnvValue(nullptr, true), Tier::kAvx2);
+  EXPECT_EQ(simd::TierFromEnvValue("1", true), Tier::kAvx2);
+  EXPECT_EQ(simd::TierFromEnvValue("avx2", true), Tier::kAvx2);
+  // Without hardware support everything except the explicit scalar
+  // override degrades to scalar.
+  EXPECT_EQ(simd::TierFromEnvValue(nullptr, false), Tier::kScalar);
+  EXPECT_EQ(simd::TierFromEnvValue("fast", false), Tier::kScalar);
+  EXPECT_EQ(simd::TierFromEnvValue("0", false), Tier::kScalar);
+}
+
+// The ctest entries simd_test_forced_scalar (GELC_SIMD=0) and
+// simd_test_fast (GELC_SIMD=fast) re-run this binary under those env
+// values; this test pins that the process-wide resolution honored them.
+TEST(SimdTierTest, ActiveTierMatchesEnvResolution) {
+  simd::ResetTier();
+  EXPECT_EQ(simd::ActiveTier(),
+            simd::TierFromEnvValue(std::getenv("GELC_SIMD"),
+                                   simd::CpuHasAvx2Fma()));
+}
+
+TEST(SimdTierTest, SetTierInstallsOrDegrades) {
+  ScopedTier guard(Tier::kScalar);
+  EXPECT_EQ(simd::ActiveTier(), Tier::kScalar);
+  const Tier got = simd::SetTier(Tier::kAvx2);
+  if (simd::CpuHasAvx2Fma()) {
+    EXPECT_EQ(got, Tier::kAvx2);
+    EXPECT_EQ(simd::SetTier(Tier::kFast), Tier::kFast);
+  } else {
+    EXPECT_EQ(got, Tier::kScalar);
+    EXPECT_EQ(simd::SetTier(Tier::kFast), Tier::kScalar);
+  }
+  EXPECT_EQ(simd::TierName(Tier::kScalar), std::string("scalar"));
+  EXPECT_EQ(simd::TierName(Tier::kAvx2), std::string("avx2"));
+  EXPECT_EQ(simd::TierName(Tier::kFast), std::string("fast"));
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exactness: the default AVX2 tier must reproduce the scalar tier's
+// bits everywhere, at both ends of the thread range, including shapes
+// that exercise every vector tail (dims not multiples of 4 or 8) and the
+// sub-vector-width edge (d < 4).
+// ---------------------------------------------------------------------------
+
+struct Shape {
+  size_t m, k, n;
+};
+
+class SimdBitExactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!simd::CpuHasAvx2Fma()) {
+      GTEST_SKIP() << "no AVX2/FMA hardware; vector tiers unavailable";
+    }
+  }
+};
+
+TEST_F(SimdBitExactTest, MatMulScalarVsAvx2) {
+  const Shape shapes[] = {{1, 1, 1},    {3, 2, 5},     {7, 5, 3},
+                          {4, 8, 8},    {33, 17, 9},   {64, 64, 64},
+                          {65, 31, 43}, {129, 65, 130}, {300, 150, 200}};
+  for (const Shape& s : shapes) {
+    Matrix a = RandomMatrix(s.m, s.k, 101 + s.m);
+    Matrix b = RandomMatrix(s.k, s.n, 202 + s.n);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ScopedThreads scoped_threads(threads);
+      Matrix scalar, avx2;
+      {
+        ScopedTier tier(Tier::kScalar);
+        scalar = a.MatMul(b);
+      }
+      {
+        ScopedTier tier(Tier::kAvx2);
+        avx2 = a.MatMul(b);
+      }
+      EXPECT_TRUE(scalar == avx2)
+          << s.m << "x" << s.k << "x" << s.n << " threads=" << threads
+          << " maxdiff=" << scalar.MaxAbsDiff(avx2);
+    }
+  }
+}
+
+TEST_F(SimdBitExactTest, SpMMScalarVsAvx2WeightedAndNot) {
+  // d sweeps the tails: sub-vector (1..3), one vector (4), odd (5, 7),
+  // the 8-wide main loop (8, 16), and 8-plus-tails (11, 13).
+  for (size_t d : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 11u, 13u, 16u}) {
+    for (bool weighted : {false, true}) {
+      CsrMatrix a = RandomCsr(120, 90, 0.15, weighted, 7 + d);
+      Matrix b = RandomMatrix(90, d, 31 + d);
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        ScopedThreads scoped_threads(threads);
+        Matrix scalar, avx2;
+        {
+          ScopedTier tier(Tier::kScalar);
+          scalar = SpMM(a, b);
+        }
+        {
+          ScopedTier tier(Tier::kAvx2);
+          avx2 = SpMM(a, b);
+        }
+        EXPECT_TRUE(scalar == avx2)
+            << "d=" << d << " weighted=" << weighted
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(SimdBitExactTest, NeighborAggregateScalarVsAvx2) {
+  for (size_t d : {3u, 8u, 13u}) {
+    CsrMatrix csr = RandomCsr(80, 80, 0.1, true, 17 + d);
+    CsrMatrix unweighted = csr;
+    unweighted.values.clear();
+    Matrix values = RandomMatrix(80, d, 29 + d);
+    for (FusedAgg agg :
+         {FusedAgg::kSum, FusedAgg::kMean, FusedAgg::kMax, FusedAgg::kCount}) {
+      // Max aggregation over weighted CSR ignores weights; use both
+      // structures to cover the weighted and unweighted sum paths.
+      for (const CsrMatrix* a : {&csr, &unweighted}) {
+        Matrix scalar, avx2;
+        {
+          ScopedTier tier(Tier::kScalar);
+          NeighborAggregateInto(*a, values, agg, false, false, &scalar);
+        }
+        {
+          ScopedTier tier(Tier::kAvx2);
+          NeighborAggregateInto(*a, values, agg, false, false, &avx2);
+        }
+        EXPECT_TRUE(scalar == avx2)
+            << "d=" << d << " agg=" << static_cast<int>(agg)
+            << " weighted=" << a->weighted();
+      }
+    }
+  }
+}
+
+TEST_F(SimdBitExactTest, FusedLayerAndGinCombineScalarVsAvx2) {
+  const size_t n = 60;
+  for (size_t d : {5u, 16u}) {
+    const size_t out_dim = d + 3;  // not a multiple of 4
+    CsrMatrix csr = RandomCsr(n, n, 0.12, false, 41 + d);
+    Matrix values = RandomMatrix(n, d, 43 + d);
+    Matrix w_self = RandomMatrix(d, out_dim, 47 + d);
+    Matrix w_agg = RandomMatrix(d, out_dim, 53 + d);
+    Matrix bias = RandomMatrix(1, out_dim, 59 + d);
+    std::vector<FusedLayerArg> args(2);
+    args[0].values = &values;
+    args[0].w = &w_self;
+    args[1].values = &values;
+    args[1].w = &w_agg;
+    args[1].csr = &csr;
+    args[1].agg = FusedAgg::kMean;
+    Matrix scalar_layer, avx2_layer, scalar_gin, avx2_gin;
+    {
+      ScopedTier tier(Tier::kScalar);
+      FusedLayerInto(n, args, &bias, Activation::kReLU, &scalar_layer);
+      FusedGinCombineInto(csr, values, 1.25, &scalar_gin);
+    }
+    {
+      ScopedTier tier(Tier::kAvx2);
+      FusedLayerInto(n, args, &bias, Activation::kReLU, &avx2_layer);
+      FusedGinCombineInto(csr, values, 1.25, &avx2_gin);
+    }
+    EXPECT_TRUE(scalar_layer == avx2_layer) << "d=" << d;
+    EXPECT_TRUE(scalar_gin == avx2_gin) << "d=" << d;
+  }
+}
+
+TEST_F(SimdBitExactTest, SegmentOpsScalarVsAvx2) {
+  for (size_t d : {3u, 8u, 11u}) {
+    Matrix f = RandomMatrix(50, d, 61 + d);
+    // Offsets with empty, singleton, and long segments.
+    std::vector<size_t> offsets = {0, 0, 1, 5, 5, 20, 50};
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ScopedThreads scoped_threads(threads);
+      Matrix ssum, smean, smax, vsum, vmean, vmax;
+      std::vector<size_t> sarg, varg;
+      {
+        ScopedTier tier(Tier::kScalar);
+        ssum = SegmentSum(f, offsets);
+        smean = SegmentMean(f, offsets);
+        smax = SegmentMax(f, offsets, &sarg);
+      }
+      {
+        ScopedTier tier(Tier::kAvx2);
+        vsum = SegmentSum(f, offsets);
+        vmean = SegmentMean(f, offsets);
+        vmax = SegmentMax(f, offsets, &varg);
+      }
+      EXPECT_TRUE(ssum == vsum) << "d=" << d << " threads=" << threads;
+      EXPECT_TRUE(smean == vmean) << "d=" << d << " threads=" << threads;
+      EXPECT_TRUE(smax == vmax) << "d=" << d << " threads=" << threads;
+      EXPECT_EQ(sarg, varg) << "d=" << d << " threads=" << threads;
+    }
+  }
+}
+
+// Max semantics corner: signed zeros and the keep-acc-on-tie convention
+// must match std::max in the vector tier (naive _mm256_max_pd would not).
+TEST_F(SimdBitExactTest, MaxRowSignedZeroAndTies) {
+  AlignedVector acc_s = {-0.0, 0.0, 1.0, -1.0, -0.0, 0.0, 2.0, -2.0, 5.0};
+  AlignedVector x = {0.0, -0.0, 1.0, 1.0, -0.0, 0.0, -2.0, 2.0, 5.0};
+  AlignedVector acc_v = acc_s;
+  {
+    ScopedTier tier(Tier::kScalar);
+    simd::MaxRow(acc_s.data(), x.data(), acc_s.size());
+  }
+  {
+    ScopedTier tier(Tier::kAvx2);
+    simd::MaxRow(acc_v.data(), x.data(), acc_v.size());
+  }
+  for (size_t j = 0; j < acc_s.size(); ++j) {
+    // Compare bits: 0.0 vs -0.0 compare equal under ==, so check sign too.
+    EXPECT_EQ(acc_s[j], acc_v[j]) << "j=" << j;
+    EXPECT_EQ(std::signbit(acc_s[j]), std::signbit(acc_v[j])) << "j=" << j;
+  }
+}
+
+// The 64-byte-aligned storage contract the kernels DCHECK.
+TEST(SimdAlignmentTest, MatrixStorageIsVectorAligned) {
+  for (size_t cols : {1u, 3u, 7u, 64u}) {
+    Matrix m = RandomMatrix(5, cols, 71 + cols);
+    EXPECT_TRUE(IsVectorAligned(m.data().data())) << "cols=" << cols;
+  }
+  AlignedVector v(13);
+  EXPECT_TRUE(IsVectorAligned(v.data()));
+}
+
+// ---------------------------------------------------------------------------
+// Fast tier: FMA is allowed to change bits but not results — the
+// differential tolerance mirrors the PR 5 batched/differential layer.
+// ---------------------------------------------------------------------------
+
+TEST_F(SimdBitExactTest, FastTierWithinTolerance) {
+  Matrix a = RandomMatrix(120, 80, 301);
+  Matrix b = RandomMatrix(80, 96, 302);
+  CsrMatrix csr = RandomCsr(120, 120, 0.15, true, 303);
+  Matrix scalar_mm, fast_mm, scalar_sp, fast_sp;
+  {
+    ScopedTier tier(Tier::kScalar);
+    scalar_mm = a.MatMul(b);
+    scalar_sp = SpMM(csr, scalar_mm);
+  }
+  {
+    ScopedTier tier(Tier::kFast);
+    fast_mm = a.MatMul(b);
+    fast_sp = SpMM(csr, scalar_mm);
+  }
+  // |entries| are O(1) with k <= 120 accumulation steps; 1e-12 absolute
+  // leaves two orders of magnitude over the worst observed FMA drift
+  // while still catching any real kernel bug.
+  EXPECT_TRUE(scalar_mm.AllClose(fast_mm, 1e-12));
+  EXPECT_TRUE(scalar_sp.AllClose(fast_sp, 1e-12));
+}
+
+// ---------------------------------------------------------------------------
+// Observability: kernel entry points record which tier served them.
+// ---------------------------------------------------------------------------
+
+TEST(SimdObsTest, DispatchCountersAdvancePerTier) {
+  Matrix a = RandomMatrix(16, 16, 401);
+  Matrix b = RandomMatrix(16, 16, 402);
+  {
+    ScopedTier tier(Tier::kScalar);
+    const uint64_t before = obs::ReadCounter("simd.scalar_dispatches");
+    (void)a.MatMul(b);
+    EXPECT_EQ(obs::ReadCounter("simd.scalar_dispatches"), before + 1);
+  }
+  if (simd::CpuHasAvx2Fma()) {
+    ScopedTier tier(Tier::kAvx2);
+    const uint64_t before = obs::ReadCounter("simd.avx2_dispatches");
+    (void)a.MatMul(b);
+    (void)SpMM(RandomCsr(16, 16, 0.3, false, 403), b);
+    EXPECT_EQ(obs::ReadCounter("simd.avx2_dispatches"), before + 2);
+  }
+}
+
+}  // namespace
+}  // namespace gelc
