@@ -1,30 +1,36 @@
 #!/usr/bin/env bash
 # The pre-PR gate: everything that must be green before a PR goes up.
+# Steps, in the order they actually run:
 #
-#   1. static analysis     — gelc_lint over src/tests/bench/examples/tools
-#   2. warning-clean build — -Wall -Wextra -Werror (GELC_WERROR is ON by
+#   1. warning-clean build — -Wall -Wextra -Werror (GELC_WERROR is ON by
 #                            default; this run would catch a local opt-out)
-#   3. full ctest          — the tier-1 suite, including the gelc_lint,
-#                            thread-variant (GELC_NUM_THREADS=1/4), and
+#   2. static analysis     — gelc_lint over src/tests/bench/examples/tools:
+#                            the per-file rule catalogue plus the
+#                            whole-program passes (include-graph layering
+#                            and cycles, parallel-region race detector)
+#   3. full ctest          — the tier-1 suite, including the gelc_lint /
+#                            gelc_lint_wholeprogram gates, thread-variant
+#                            (GELC_NUM_THREADS=1/4) runs, and the
 #                            GELC_SIMD=0/fast simd_test variants
-#   4. forced-scalar ctest — the whole suite again with GELC_SIMD=0, so
-#                            every differential/bit-identity test also
-#                            certifies the scalar fallback tier a binary
-#                            lands on when cpuid lacks AVX2/FMA
+#   4. forced-scalar ctest — the whole suite again with GELC_SIMD=0
+#                            exported, so every differential/bit-identity
+#                            test also certifies the scalar fallback tier
+#                            a binary lands on when cpuid lacks AVX2/FMA
 #   5. sanitizer ctest     — ASAN+UBSAN build, full suite again (this is
 #                            the run that chases the SIMD kernels' raw
 #                            pointer arithmetic, vector tails, and the
 #                            aligned-allocator new/delete pairing in
 #                            simd_test)
-#
-#   6. TSAN ctest          — TSAN build of the pool-worker-heavy suites:
-#                            the obs metrics shards / trace ring buffers
-#                            and the fused plan-execution kernels are
-#                            written from pool workers, so their
-#                            merge-on-read and disjoint-row-shard paths
-#                            get a dedicated race check (plan_test also
-#                            carries the compile/fuzz differential
-#                            suites)
+#   6. TSAN ctest          — TSAN build of only the pool-worker-heavy
+#                            binaries (obs_test, parallel_test, plan_test,
+#                            fuzz_test, simd_test): the obs metrics shards
+#                            / trace ring buffers and the fused
+#                            plan-execution kernels are written from pool
+#                            workers, so their merge-on-read and
+#                            disjoint-row-shard paths get a dedicated
+#                            dynamic race check on top of gelc_lint's
+#                            static one (plan_test also carries the
+#                            compile/fuzz differential suites)
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast  skip steps 5 and 6 (the sanitizer rebuilds) for quick

@@ -71,4 +71,16 @@ namespace gelc {
 
 #endif  // NDEBUG
 
+// Declares that a variable may only be written under the named mutex.
+// Purely an annotation: it expands to nothing and imposes no runtime
+// cost. gelc_lint's parallel-region-race pass reads it — a write to an
+// annotated variable inside a ParallelFor/ParallelMap lambda is accepted
+// only when the region also takes a lock naming `mu` (a lock_guard /
+// scoped_lock / unique_lock on it, or an explicit mu.lock()). Annotate
+// at the declaration:
+//
+//   std::mutex mu;
+//   std::vector<int> shared GELC_GUARDED_BY(mu);
+#define GELC_GUARDED_BY(mu)
+
 #endif  // GELC_BASE_LOGGING_H_

@@ -1,0 +1,293 @@
+#include "lint/include_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "lint/layers.h"
+
+namespace gelc {
+namespace lint {
+namespace {
+
+/// Path components after the last `src` component, joined by '/': the
+/// form project includes are written in (`#include "lint/lexer.h"`).
+/// Returns the empty string for paths with no `src` component.
+std::string SrcRelative(const std::string& path) {
+  size_t at = std::string::npos;
+  size_t search = 0;
+  while (true) {
+    size_t hit = path.find("src/", search);
+    if (hit == std::string::npos) break;
+    // Must be a whole component: start of string or preceded by '/'.
+    if (hit == 0 || path[hit - 1] == '/') at = hit + 4;
+    search = hit + 4;
+  }
+  if (at == std::string::npos || at >= path.size()) return std::string();
+  return path.substr(at);
+}
+
+std::string Dirname(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// "src/lint/lexer.h" -> "lint/lexer.h" for messages; falls back to the
+/// path itself outside src/.
+std::string DisplayName(const std::string& path) {
+  std::string rel = SrcRelative(path);
+  return rel.empty() ? path : rel;
+}
+
+/// Finds the shortest path from `from` to `to` along graph edges (BFS);
+/// returns node indices including both endpoints, or empty if unreachable.
+std::vector<size_t> ShortestPath(const IncludeGraph& graph, size_t from,
+                                 size_t to) {
+  std::vector<int> parent(graph.paths.size(), -1);
+  std::deque<size_t> queue{from};
+  parent[from] = static_cast<int>(from);
+  while (!queue.empty()) {
+    size_t node = queue.front();
+    queue.pop_front();
+    if (node == to) break;
+    for (const auto& [next, line] : graph.adj[node]) {
+      if (parent[next] >= 0) continue;
+      parent[next] = static_cast<int>(node);
+      queue.push_back(next);
+    }
+  }
+  if (parent[to] < 0) return {};
+  std::vector<size_t> path{to};
+  while (path.back() != from) {
+    path.push_back(static_cast<size_t>(parent[path.back()]));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string JoinChain(const IncludeGraph& graph,
+                      const std::vector<size_t>& nodes) {
+  std::string out;
+  for (size_t node : nodes) {
+    if (!out.empty()) out += " -> ";
+    out += DisplayName(graph.paths[node]);
+  }
+  return out;
+}
+
+/// One back edge found by the DFS, with the cycle it closes.
+struct BackEdge {
+  size_t from;
+  size_t to;
+  int line;
+};
+
+/// Depth-first search over the (sorted, so deterministic) graph,
+/// collecting every back edge. Back edges are exactly the edges that
+/// close cycles, and every cycle contains at least one.
+std::vector<BackEdge> FindBackEdges(const IncludeGraph& graph) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(graph.paths.size(), Color::kWhite);
+  std::vector<BackEdge> back_edges;
+  // Iterative DFS: (node, next edge index to explore).
+  std::vector<std::pair<size_t, size_t>> stack;
+  for (size_t root = 0; root < graph.paths.size(); ++root) {
+    if (color[root] != Color::kWhite) continue;
+    color[root] = Color::kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [node, edge] = stack.back();
+      if (edge >= graph.adj[node].size()) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const auto& [next, line] = graph.adj[node][edge++];
+      if (color[next] == Color::kWhite) {
+        color[next] = Color::kGray;
+        stack.emplace_back(next, 0);
+      } else if (color[next] == Color::kGray) {
+        back_edges.push_back(BackEdge{node, next, line});
+      }
+    }
+  }
+  return back_edges;
+}
+
+/// Canonical key for a cycle (node set rotated to start at its minimum),
+/// used to report each distinct cycle once even when the DFS finds it
+/// through several back edges.
+std::string CycleKey(const std::vector<size_t>& nodes) {
+  if (nodes.empty()) return std::string();
+  size_t min_at = 0;
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i] < nodes[min_at]) min_at = i;
+  }
+  std::string key;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    key += std::to_string(nodes[(min_at + i) % nodes.size()]);
+    key += ',';
+  }
+  return key;
+}
+
+struct LayeringViolation {
+  size_t from;
+  size_t to;
+  int line;
+  std::string from_module;
+  std::string to_module;
+  int from_rank;
+  int to_rank;
+};
+
+/// Direct edges that climb the layer table. Ranks must be monotone
+/// non-increasing along include edges, so checking direct edges catches
+/// every transitive violation too (any upward path has an upward step).
+std::vector<LayeringViolation> FindLayeringViolations(
+    const IncludeGraph& graph) {
+  std::vector<LayeringViolation> out;
+  for (size_t u = 0; u < graph.paths.size(); ++u) {
+    std::string from_module;
+    int from_rank = LayerRank(graph.paths[u], &from_module);
+    if (from_rank < 0) continue;  // outside the layered tree: exempt
+    for (const auto& [v, line] : graph.adj[u]) {
+      std::string to_module;
+      int to_rank = LayerRank(graph.paths[v], &to_module);
+      if (to_rank < 0 || to_rank <= from_rank) continue;
+      out.push_back(LayeringViolation{u, v, line, from_module, to_module,
+                                      from_rank, to_rank});
+    }
+  }
+  return out;
+}
+
+struct CycleFinding {
+  BackEdge edge;
+  std::vector<size_t> chain;  // closed: first node repeated at the end
+};
+
+std::vector<CycleFinding> FindCycles(const IncludeGraph& graph) {
+  std::vector<CycleFinding> out;
+  std::set<std::string> seen;
+  for (const BackEdge& edge : FindBackEdges(graph)) {
+    // The minimal chain for the cycle this edge closes: shortest path
+    // to -> ... -> from, closed by the back edge itself.
+    std::vector<size_t> path = ShortestPath(graph, edge.to, edge.from);
+    if (path.empty()) continue;  // self-loop-free graphs always reach here
+    if (!seen.insert(CycleKey(path)).second) continue;
+    path.push_back(edge.to);
+    out.push_back(CycleFinding{edge, std::move(path)});
+  }
+  return out;
+}
+
+}  // namespace
+
+IncludeGraph BuildIncludeGraph(const std::vector<FileHarvest>& files) {
+  IncludeGraph graph;
+  // Deterministic node order regardless of harvest order.
+  std::vector<const FileHarvest*> sorted;
+  sorted.reserve(files.size());
+  for (const FileHarvest& file : files) sorted.push_back(&file);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FileHarvest* a, const FileHarvest* b) {
+              return a->path < b->path;
+            });
+
+  std::unordered_map<std::string, size_t> by_path;
+  std::unordered_map<std::string, size_t> by_src_relative;
+  graph.paths.reserve(sorted.size());
+  for (const FileHarvest* file : sorted) {
+    size_t node = graph.paths.size();
+    graph.paths.push_back(file->path);
+    by_path.emplace(file->path, node);
+    std::string rel = SrcRelative(file->path);
+    if (!rel.empty()) by_src_relative.emplace(rel, node);
+  }
+
+  graph.adj.resize(graph.paths.size());
+  for (size_t u = 0; u < graph.paths.size(); ++u) {
+    const FileHarvest* file = sorted[u];
+    std::string dir = Dirname(file->path);
+    for (const IncludeDirective& inc : file->lex.includes) {
+      if (inc.angled) continue;  // system/third-party: not ours to check
+      size_t v;
+      if (auto it = by_src_relative.find(inc.path);
+          it != by_src_relative.end()) {
+        v = it->second;
+      } else if (auto jt = by_path.find(dir.empty() ? inc.path
+                                                    : dir + "/" + inc.path);
+                 jt != by_path.end()) {
+        v = jt->second;
+      } else {
+        continue;  // not in the linted set
+      }
+      if (v == u) continue;
+      graph.adj[u].emplace_back(v, inc.line);
+    }
+    std::sort(graph.adj[u].begin(), graph.adj[u].end(),
+              [&graph](const std::pair<size_t, int>& a,
+                       const std::pair<size_t, int>& b) {
+                if (graph.paths[a.first] != graph.paths[b.first]) {
+                  return graph.paths[a.first] < graph.paths[b.first];
+                }
+                return a.second < b.second;
+              });
+  }
+  return graph;
+}
+
+std::vector<Diagnostic> CheckIncludeGraph(const IncludeGraph& graph) {
+  std::vector<Diagnostic> out;
+  for (const LayeringViolation& v : FindLayeringViolations(graph)) {
+    Diagnostic diag;
+    diag.file = graph.paths[v.from];
+    diag.line = v.line;
+    diag.rule = "include-layering";
+    diag.message = "layer '" + v.from_module + "' (rank " +
+                   std::to_string(v.from_rank) + ") may not include layer '" +
+                   v.to_module + "' (rank " + std::to_string(v.to_rank) +
+                   "): " + DisplayName(graph.paths[v.from]) + " -> " +
+                   DisplayName(graph.paths[v.to]) + "; declared order is " +
+                   LayerOrderDescription();
+    out.push_back(std::move(diag));
+  }
+  for (const CycleFinding& c : FindCycles(graph)) {
+    Diagnostic diag;
+    diag.file = graph.paths[c.edge.from];
+    diag.line = c.edge.line;
+    diag.rule = "include-cycle";
+    diag.message = "include cycle: " + JoinChain(graph, c.chain);
+    out.push_back(std::move(diag));
+  }
+  return out;
+}
+
+std::string FixIncludesReport(const IncludeGraph& graph) {
+  std::string out;
+  for (const LayeringViolation& v : FindLayeringViolations(graph)) {
+    out += "layering: " + DisplayName(graph.paths[v.from]) + ":" +
+           std::to_string(v.line) + " -> " + DisplayName(graph.paths[v.to]) +
+           "\n";
+    out += "  chain: " + DisplayName(graph.paths[v.from]) + " -> " +
+           DisplayName(graph.paths[v.to]) + "\n";
+    out += "  '" + v.from_module + "' (rank " + std::to_string(v.from_rank) +
+           ") sits below '" + v.to_module + "' (rank " +
+           std::to_string(v.to_rank) + ")\n";
+    out += "  fix: drop the include, or move the shared declaration into '" +
+           v.from_module + "' or lower\n";
+  }
+  for (const CycleFinding& c : FindCycles(graph)) {
+    out += "cycle: " + JoinChain(graph, c.chain) + "\n";
+    out += "  fix: break the edge at " + DisplayName(graph.paths[c.edge.from]) +
+           ":" + std::to_string(c.edge.line) +
+           " (forward-declare instead of including)\n";
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace gelc

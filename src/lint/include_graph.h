@@ -1,0 +1,50 @@
+// Whole-program include-graph passes: build the project include DAG from
+// harvested `#include` directives and check it against the declared layer
+// table (lint/layers.h). Two rules come out of this pass:
+//
+//  - include-layering: an edge from a lower-layer file to a higher-layer
+//    file (reported at the offending `#include` line, naming both layers
+//    and the required order).
+//  - include-cycle: a cycle among project headers (reported at the back
+//    edge that closes it, with the full chain in the message).
+//
+// Only quoted includes that resolve to a file in the linted set
+// participate; system headers and unresolved paths are ignored.
+#ifndef GELC_LINT_INCLUDE_GRAPH_H_
+#define GELC_LINT_INCLUDE_GRAPH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace gelc {
+namespace lint {
+
+/// The project include graph over the harvested files. Node i is
+/// `paths[i]`; `adj[i]` lists (target node, line of the `#include`).
+struct IncludeGraph {
+  std::vector<std::string> paths;
+  std::vector<std::vector<std::pair<size_t, int>>> adj;
+};
+
+/// Builds the graph. A quoted include `I` in file F resolves to the
+/// harvested file whose src-relative path equals `I` (components after
+/// the last `src/`), or failing that to `dir(F)/I` exactly.
+IncludeGraph BuildIncludeGraph(const std::vector<FileHarvest>& files);
+
+/// Runs both checks over the graph; diagnostics are NOT NOLINT-filtered
+/// here (the linter driver applies suppression using the per-file maps).
+std::vector<Diagnostic> CheckIncludeGraph(const IncludeGraph& graph);
+
+/// Dry-run report for `gelc_lint --fix-includes`: one block per layering
+/// violation or cycle, with the minimal offending include chain and a
+/// hint about which edge to remove or which layer to move. Returns the
+/// empty string when the graph is clean.
+std::string FixIncludesReport(const IncludeGraph& graph);
+
+}  // namespace lint
+}  // namespace gelc
+
+#endif  // GELC_LINT_INCLUDE_GRAPH_H_

@@ -1,0 +1,100 @@
+#include "lint/layers.h"
+
+namespace gelc {
+namespace lint {
+
+// The one table. Bottom-up; a file may include same-rank-or-lower only.
+//
+// The order tracks the *actual* link DAG (src/*/CMakeLists.txt), not an
+// aspirational one, so the check stays green on a clean tree and any new
+// edge that would invert it fails tier-1:
+//
+//  - `obs` sits above `base` at the include level: every obs TU uses
+//    base/status.h and friends, while base's one upward reference (the
+//    pool instrumenting itself from parallel.cc) is an explicit,
+//    NOLINT(include-layering)-justified exception rather than the rule.
+//  - `wl` and `hom` share a rank (both are label/count layers over
+//    `graph` and neither includes the other).
+//  - `logic` and `core` share a rank above `gnn`: both lower formulas /
+//    plans into GNN models (logic/gml_to_gnn.h, core/compile_gnn.h).
+//  - `app` is the everything-goes top tier: tests, benches, examples and
+//    tools may include any library layer.
+const std::vector<std::vector<std::string>>& LayerGroups() {
+  static const std::vector<std::vector<std::string>> kGroups = {
+      {"base"},
+      {"obs"},
+      {"lint"},
+      {"tensor"},
+      {"autodiff"},
+      {"graph"},
+      {"wl", "hom"},
+      {"gnn"},
+      {"logic", "core"},
+      {"separation"},
+      {"tests", "bench", "examples", "tools"},
+  };
+  return kGroups;
+}
+
+namespace {
+
+/// Splits a '/'-separated path into components.
+std::vector<std::string> Components(const std::string& path) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t slash = path.find('/', start);
+    size_t end = (slash == std::string::npos) ? path.size() : slash;
+    if (end > start) out.push_back(path.substr(start, end - start));
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  return out;
+}
+
+int RankOf(const std::string& module) {
+  const auto& groups = LayerGroups();
+  for (size_t r = 0; r < groups.size(); ++r) {
+    for (const std::string& m : groups[r]) {
+      if (m == module) return static_cast<int>(r);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int LayerRank(const std::string& path, std::string* module) {
+  const std::vector<std::string> parts = Components(path);
+  // The module is the component after the last "src"; the app-tier
+  // directories are layers in their own right wherever they appear.
+  for (size_t i = parts.size(); i-- > 0;) {
+    if (parts[i] == "src" && i + 1 < parts.size()) {
+      int rank = RankOf(parts[i + 1]);
+      if (rank >= 0 && module != nullptr) *module = parts[i + 1];
+      return rank;
+    }
+    int rank = RankOf(parts[i]);
+    if (rank >= 0 && i + 1 < parts.size()) {
+      // App-tier component with a file below it (not a bare directory).
+      if (module != nullptr) *module = parts[i];
+      return rank;
+    }
+  }
+  return -1;
+}
+
+std::string LayerOrderDescription() {
+  std::string out;
+  for (const auto& group : LayerGroups()) {
+    if (!out.empty()) out += " < ";
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (i > 0) out += "/";
+      out += group[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace gelc

@@ -1,0 +1,34 @@
+// The declared layer architecture of the repository, used by the
+// include-graph pass (lint/include_graph.h). One table, in one place:
+// layers are listed from the bottom of the stack up, and a file may only
+// include files whose layer is at the same rank or below. The table is
+// the machine-checked twin of the module DAG documented in DESIGN.md §7;
+// adding a module means adding it here (CONTRIBUTING.md, "Adding a
+// layer").
+#ifndef GELC_LINT_LAYERS_H_
+#define GELC_LINT_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+namespace gelc {
+namespace lint {
+
+/// The ordered layer table, bottom-up. Each inner vector is one rank;
+/// modules sharing a rank may include each other.
+const std::vector<std::vector<std::string>>& LayerGroups();
+
+/// Maps a path to its layer rank (index into LayerGroups()). The module
+/// is the path component after the last `src/` component, or the
+/// `tests`/`bench`/`examples`/`tools` component for the app tier.
+/// Returns -1 (and leaves *module untouched) for paths outside the
+/// layered tree; such files are exempt from the layering check.
+int LayerRank(const std::string& path, std::string* module);
+
+/// "base < obs < lint < ..." — the order in one line, for diagnostics.
+std::string LayerOrderDescription();
+
+}  // namespace lint
+}  // namespace gelc
+
+#endif  // GELC_LINT_LAYERS_H_

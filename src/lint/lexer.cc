@@ -1,5 +1,6 @@
 #include "lint/lexer.h"
 
+#include <algorithm>
 #include <cctype>
 
 namespace gelc {
@@ -49,36 +50,66 @@ class Scanner {
   int line_ = 1;
 };
 
-/// Parses the rule list of a NOLINT marker inside comment text and records
-/// it against `line`. Recognizes `NOLINT`, `NOLINTNEXTLINE` (applies to
-/// the following line), and either form with a `(rule-a, rule-b)` list; a
-/// bare marker (or an empty/unclosed rule list) suppresses all rules.
-void RecordNolint(std::string_view comment, int line, NolintMap* nolint) {
+/// One NOLINT marker as parsed out of a comment; NEXTLINE markers are
+/// resolved to a token-bearing line only after the whole file is lexed.
+struct NolintMarker {
+  int line;       // line the comment starts on
+  bool nextline;  // NOLINTNEXTLINE vs inline NOLINT
+  bool bare;      // no rule list (or an empty/unclosed one): suppress all
+  std::unordered_set<std::string> rules;
+};
+
+/// Parses the rule list of a NOLINT marker inside comment text and appends
+/// it to `markers`. Recognizes `NOLINT`, `NOLINTNEXTLINE` (applies to the
+/// following token-bearing line), and either form with a `(rule-a,
+/// rule-b)` list; a bare marker (or an empty/unclosed rule list)
+/// suppresses all rules.
+void RecordNolint(std::string_view comment, int line,
+                  std::vector<NolintMarker>* markers) {
   size_t at = comment.find("NOLINT");
   if (at == std::string_view::npos) return;
+  NolintMarker marker;
+  marker.line = line;
   size_t paren = at + 6;  // just past "NOLINT"
-  if (comment.substr(paren, 8) == "NEXTLINE") {
-    paren += 8;
-    ++line;
-  }
-  auto& rules = (*nolint)[line];  // creates the all-rules entry
-  if (paren >= comment.size() || comment[paren] != '(') return;
-  size_t close = comment.find(')', paren);
-  if (close == std::string_view::npos) return;
-  std::string_view list = comment.substr(paren + 1, close - paren - 1);
-  std::string current;
-  auto flush = [&rules, &current]() {
-    if (!current.empty()) rules.insert(current);
-    current.clear();
-  };
-  for (char c : list) {
-    if (c == ',') {
+  marker.nextline = comment.substr(paren, 8) == "NEXTLINE";
+  if (marker.nextline) paren += 8;
+  marker.bare = true;
+  if (paren < comment.size() && comment[paren] == '(') {
+    size_t close = comment.find(')', paren);
+    if (close != std::string_view::npos) {
+      std::string_view list = comment.substr(paren + 1, close - paren - 1);
+      std::string current;
+      auto flush = [&marker, &current]() {
+        if (!current.empty()) marker.rules.insert(current);
+        current.clear();
+      };
+      for (char c : list) {
+        if (c == ',') {
+          flush();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          current.push_back(c);
+        }
+      }
       flush();
-    } else if (!std::isspace(static_cast<unsigned char>(c))) {
-      current.push_back(c);
+      marker.bare = marker.rules.empty();
     }
   }
-  flush();
+  markers->push_back(std::move(marker));
+}
+
+/// Folds resolved markers into the per-line map. A bare marker wins over
+/// (and absorbs) rule lists targeting the same line: the empty set means
+/// "suppress everything".
+void MergeMarker(const NolintMarker& marker, int target_line, NolintMap* map,
+                 std::unordered_set<int>* bare_lines) {
+  if (bare_lines->count(target_line) > 0) return;
+  auto& rules = (*map)[target_line];
+  if (marker.bare) {
+    rules.clear();
+    bare_lines->insert(target_line);
+    return;
+  }
+  rules.insert(marker.rules.begin(), marker.rules.end());
 }
 
 /// Punctuators that are meaningful to the rules as multi-char units.
@@ -93,6 +124,7 @@ constexpr std::string_view kMultiCharPuncts[] = {
 
 LexResult Lex(std::string_view source) {
   LexResult out;
+  std::vector<NolintMarker> markers;
   Scanner s(source);
 
   auto emit = [&out](TokenKind kind, std::string_view text, int line) {
@@ -129,7 +161,7 @@ LexResult Lex(std::string_view source) {
     if (c == '/' && s.Peek(1) == '/') {
       size_t start = s.pos();
       while (!s.AtEnd() && s.Peek() != '\n') s.Advance();
-      RecordNolint(s.Slice(start, s.pos()), line, &out.nolint);
+      RecordNolint(s.Slice(start, s.pos()), line, &markers);
       continue;
     }
 
@@ -141,7 +173,7 @@ LexResult Lex(std::string_view source) {
       s.Advance();
       while (!s.AtEnd() && !(s.Peek() == '*' && s.Peek(1) == '/')) s.Advance();
       s.Consume("*/");
-      RecordNolint(s.Slice(start, s.pos()), line, &out.nolint);
+      RecordNolint(s.Slice(start, s.pos()), line, &markers);
       continue;
     }
 
@@ -160,6 +192,29 @@ LexResult Lex(std::string_view source) {
         }
       }
       if (at_line_start) {
+        // `#include "x.h"` / `#include <x.h>`: harvest the target for
+        // the include-graph passes before consuming the directive.
+        s.Advance();  // '#'
+        while (s.Peek() == ' ' || s.Peek() == '\t') s.Advance();
+        size_t word_start = s.pos();
+        while (!s.AtEnd() && IsIdentChar(s.Peek())) s.Advance();
+        if (s.Slice(word_start, s.pos()) == "include") {
+          while (s.Peek() == ' ' || s.Peek() == '\t') s.Advance();
+          char open = s.Peek();
+          if (open == '"' || open == '<') {
+            char close_ch = open == '"' ? '"' : '>';
+            s.Advance();
+            std::string target;
+            while (!s.AtEnd() && s.Peek() != close_ch && s.Peek() != '\n') {
+              target.push_back(s.Advance());
+            }
+            if (s.Peek() == close_ch) {
+              s.Advance();
+              out.includes.push_back(
+                  IncludeDirective{std::move(target), line, open == '<'});
+            }
+          }
+        }
         while (!s.AtEnd()) {
           char p = s.Peek();
           if (p == '\\' && s.Peek(1) == '\n') {
@@ -171,7 +226,7 @@ LexResult Lex(std::string_view source) {
             size_t cstart = s.pos();
             int cline = s.line();
             while (!s.AtEnd() && s.Peek() != '\n') s.Advance();
-            RecordNolint(s.Slice(cstart, s.pos()), cline, &out.nolint);
+            RecordNolint(s.Slice(cstart, s.pos()), cline, &markers);
             break;
           }
           if (p == '/' && s.Peek(1) == '*') {
@@ -182,7 +237,7 @@ LexResult Lex(std::string_view source) {
             while (!s.AtEnd() && !(s.Peek() == '*' && s.Peek(1) == '/'))
               s.Advance();
             s.Consume("*/");
-            RecordNolint(s.Slice(cstart, s.pos()), cline, &out.nolint);
+            RecordNolint(s.Slice(cstart, s.pos()), cline, &markers);
             continue;
           }
           if (p == '\n') break;
@@ -279,6 +334,24 @@ LexResult Lex(std::string_view source) {
       if (!matched) s.Advance();
       emit(TokenKind::kPunct, s.Slice(start, s.pos()), line);
     }
+  }
+
+  // Resolve the markers into the per-line map. Inline NOLINTs bind to
+  // their own line; NEXTLINE markers bind to the first *token-bearing*
+  // line below them, so a marker still works above a further comment or
+  // blank line. Token lines are nondecreasing, so a binary search finds
+  // the target.
+  std::unordered_set<int> bare_lines;
+  for (const NolintMarker& marker : markers) {
+    int target = marker.line;
+    if (marker.nextline) {
+      auto it = std::upper_bound(
+          out.tokens.begin(), out.tokens.end(), marker.line,
+          [](int line, const Token& tok) { return line < tok.line; });
+      if (it == out.tokens.end()) continue;  // nothing below to suppress
+      target = it->line;
+    }
+    MergeMarker(marker, target, &out.nolint, &bare_lines);
   }
   return out;
 }

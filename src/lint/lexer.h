@@ -8,7 +8,9 @@
 // suppression comments. Comments
 // and preprocessor lines are *not* emitted as tokens — macro bodies are
 // deliberately outside the linted surface — but NOLINT markers are
-// collected into a per-line suppression map.
+// collected into a per-line suppression map, and `#include` targets are
+// harvested for the whole-program include-graph passes
+// (lint/include_graph.h).
 #ifndef GELC_LINT_LEXER_H_
 #define GELC_LINT_LEXER_H_
 
@@ -42,12 +44,30 @@ struct Token {
 /// Per-line NOLINT suppression: maps a 1-based line number to the set of
 /// suppressed rule names. An empty set means a bare `NOLINT` that
 /// suppresses every rule on that line.
+///
+/// `NOLINTNEXTLINE` markers bind to the next line that carries a token,
+/// not the next physical line, so a marker may sit above further comment
+/// or blank lines and still reach the statement it annotates. (It reaches
+/// only the line the statement *starts* on; a finding anchored to a
+/// continuation line needs an inline `NOLINT` there.)
 using NolintMap = std::unordered_map<int, std::unordered_set<std::string>>;
+
+/// One `#include` directive, harvested for the include-graph passes.
+struct IncludeDirective {
+  std::string path;  // the spelling between the quotes / angle brackets
+  int line;          // 1-based line of the directive
+  bool angled;       // <system> include (true) vs "project" include
+
+  bool operator==(const IncludeDirective& other) const {
+    return path == other.path && line == other.line && angled == other.angled;
+  }
+};
 
 /// The result of lexing one translation unit.
 struct LexResult {
   std::vector<Token> tokens;
   NolintMap nolint;
+  std::vector<IncludeDirective> includes;  // in source order
 };
 
 /// Lexes `source`. Never fails: unterminated literals or comments are

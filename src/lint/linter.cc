@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <unordered_map>
 
+#include "base/parallel.h"
 #include "base/strings.h"
+#include "lint/include_graph.h"
+#include "lint/parallel_region.h"
 
 namespace gelc {
 namespace lint {
@@ -42,30 +47,132 @@ std::string NormalizeSlashes(std::string path) {
   return path;
 }
 
+bool IsSuppressed(const Diagnostic& d, const NolintMap& nolint) {
+  auto it = nolint.find(d.line);
+  return it != nolint.end() &&
+         (it->second.empty() || it->second.count(d.rule) > 0);
+}
+
+FileContext ContextFor(const FileHarvest& harvest,
+                       const ProgramIndex& index) {
+  FileContext ctx;
+  ctx.path = harvest.path;
+  ctx.is_header = harvest.is_header;
+  ctx.lex = &harvest.lex;
+  ctx.status_functions = &index.status_functions;
+  return ctx;
+}
+
+/// Per-file rules + the race pass, with this file's NOLINT map applied.
+std::vector<Diagnostic> LintOneFile(const FileHarvest& harvest,
+                                    const ProgramIndex& index) {
+  FileContext ctx = ContextFor(harvest, index);
+  std::vector<Diagnostic> raw = RunAllRules(ctx);
+  std::vector<Diagnostic> races = CheckParallelRegions(ctx, index);
+  raw.insert(raw.end(), std::make_move_iterator(races.begin()),
+             std::make_move_iterator(races.end()));
+  std::vector<Diagnostic> kept;
+  kept.reserve(raw.size());
+  for (Diagnostic& d : raw) {
+    if (!IsSuppressed(d, harvest.lex.nolint)) kept.push_back(std::move(d));
+  }
+  return kept;
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::sort(diags->begin(), diags->end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+/// Pass 1: lex every file, in parallel. Pure per-file work, so the
+/// result is identical at any GELC thread count.
+std::vector<FileHarvest> Harvest(const std::vector<SourceFile>& files) {
+  return ParallelMap(files.size(), size_t{1}, [&files](size_t i) {
+    FileHarvest h;
+    h.path = NormalizeSlashes(files[i].path);
+    h.is_header = h.path.size() >= 2 && h.path.ends_with(".h");
+    h.lex = Lex(files[i].content);
+    return h;
+  });
+}
+
+Result<std::vector<SourceFile>> ReadAll(
+    const std::vector<std::string>& files) {
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const std::string& f : files) {
+    GELC_ASSIGN_OR_RETURN(std::string content, ReadFile(f));
+    sources.push_back(SourceFile{f, std::move(content)});
+  }
+  return sources;
+}
+
 }  // namespace
+
+std::vector<Diagnostic> LintProgram(const std::vector<SourceFile>& files,
+                                    const LintOptions& options) {
+  // Passes 1-2: harvest in parallel, then merge the cross-file index.
+  std::vector<FileHarvest> harvests = Harvest(files);
+  ProgramIndex index = BuildProgramIndex(harvests);
+
+  // Pass 3: per-file rules + race pass, in parallel over files.
+  std::vector<std::vector<Diagnostic>> per_file = ParallelMap(
+      harvests.size(), size_t{1},
+      [&harvests, &index](size_t i) { return LintOneFile(harvests[i], index); });
+  std::vector<Diagnostic> all;
+  for (std::vector<Diagnostic>& diags : per_file) {
+    all.insert(all.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+
+  // Pass 4: whole-program include-graph checks. Suppression goes through
+  // the NOLINT map of the file each finding is anchored in.
+  std::unordered_map<std::string, const FileHarvest*> by_path;
+  for (const FileHarvest& h : harvests) by_path.emplace(h.path, &h);
+  IncludeGraph graph = BuildIncludeGraph(harvests);
+  for (Diagnostic& d : CheckIncludeGraph(graph)) {
+    auto it = by_path.find(d.file);
+    if (it != by_path.end() && IsSuppressed(d, it->second->lex.nolint)) {
+      continue;
+    }
+    all.push_back(std::move(d));
+  }
+
+  // Pass 5: filter + deterministic order.
+  if (!options.rules.empty()) {
+    all.erase(std::remove_if(all.begin(), all.end(),
+                             [&options](const Diagnostic& d) {
+                               return options.rules.count(d.rule) == 0;
+                             }),
+              all.end());
+  }
+  SortDiagnostics(&all);
+  return all;
+}
+
+Result<std::vector<Diagnostic>> LintTree(const std::vector<std::string>& files,
+                                         const LintOptions& options) {
+  GELC_ASSIGN_OR_RETURN(std::vector<SourceFile> sources, ReadAll(files));
+  return LintProgram(sources, options);
+}
 
 std::vector<Diagnostic> LintSource(const std::string& path,
                                    std::string_view content,
                                    const StatusFunctionSet& status_functions) {
-  const std::string norm = NormalizeSlashes(path);
-  LexResult lex = Lex(content);
-  FileContext ctx;
-  ctx.path = norm;
-  ctx.is_header = norm.size() >= 2 && norm.ends_with(".h");
-  ctx.lex = &lex;
-  ctx.status_functions = &status_functions;
+  FileHarvest harvest;
+  harvest.path = NormalizeSlashes(path);
+  harvest.is_header = harvest.path.size() >= 2 && harvest.path.ends_with(".h");
+  harvest.lex = Lex(content);
 
-  std::vector<Diagnostic> raw = RunAllRules(ctx);
-  std::vector<Diagnostic> kept;
-  kept.reserve(raw.size());
-  for (Diagnostic& d : raw) {
-    auto it = lex.nolint.find(d.line);
-    if (it != lex.nolint.end() &&
-        (it->second.empty() || it->second.count(d.rule) > 0)) {
-      continue;
-    }
-    kept.push_back(std::move(d));
-  }
+  ProgramIndex index = BuildProgramIndex({harvest});
+  index.status_functions.insert(status_functions.begin(),
+                                status_functions.end());
+  std::vector<Diagnostic> kept = LintOneFile(harvest, index);
+  SortDiagnostics(&kept);
   return kept;
 }
 
@@ -101,34 +208,12 @@ Result<std::vector<std::string>> CollectFiles(
   return files;
 }
 
-Result<StatusFunctionSet> CollectStatusFunctions(
+Result<std::string> FixIncludesForTree(
     const std::vector<std::string>& files) {
-  StatusFunctionSet set;
-  for (const std::string& f : files) {
-    GELC_ASSIGN_OR_RETURN(std::string content, ReadFile(f));
-    LexResult lex = Lex(content);
-    CollectStatusFunctionsFromTokens(lex.tokens, &set);
-  }
-  return set;
-}
-
-Result<std::vector<Diagnostic>> LintFiles(
-    const std::vector<std::string>& files,
-    const StatusFunctionSet& status_functions) {
-  std::vector<Diagnostic> all;
-  for (const std::string& f : files) {
-    GELC_ASSIGN_OR_RETURN(std::string content, ReadFile(f));
-    std::vector<Diagnostic> diags = LintSource(f, content, status_functions);
-    all.insert(all.end(), std::make_move_iterator(diags.begin()),
-               std::make_move_iterator(diags.end()));
-  }
-  std::sort(all.begin(), all.end(), [](const Diagnostic& a,
-                                       const Diagnostic& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
-  return all;
+  GELC_ASSIGN_OR_RETURN(std::vector<SourceFile> sources, ReadAll(files));
+  std::vector<FileHarvest> harvests = Harvest(sources);
+  IncludeGraph graph = BuildIncludeGraph(harvests);
+  return FixIncludesReport(graph);
 }
 
 std::string FormatText(const std::vector<Diagnostic>& diags) {
@@ -147,6 +232,8 @@ std::string FormatText(const std::vector<Diagnostic>& diags) {
 }
 
 std::string FormatJson(const std::vector<Diagnostic>& diags) {
+  std::map<std::string, size_t> by_rule;
+  for (const Diagnostic& d : diags) ++by_rule[d.rule];
   std::ostringstream out;
   out << "{\"findings\": [";
   for (size_t i = 0; i < diags.size(); ++i) {
@@ -156,7 +243,14 @@ std::string FormatJson(const std::vector<Diagnostic>& diags) {
         << ", \"rule\": \"" << JsonEscape(d.rule) << "\", \"message\": \""
         << JsonEscape(d.message) << "\"}";
   }
-  out << "], \"count\": " << diags.size() << "}\n";
+  out << "], \"by_rule\": {";
+  bool first = true;
+  for (const auto& [rule, count] : by_rule) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(rule) << "\": " << count;
+  }
+  out << "}, \"count\": " << diags.size() << "}\n";
   return out.str();
 }
 

@@ -1,11 +1,28 @@
-// The gelc_lint driver: file discovery, the cross-file Status-function
-// index, NOLINT suppression, and report formatting. tools/gelc_lint.cc is
-// a thin CLI over this library so tests/lint_test.cc can exercise every
-// layer in-process.
+// The gelc_lint driver: file discovery, the whole-program pipeline
+// (harvest -> per-file rules -> cross-file passes), NOLINT suppression,
+// and report formatting. tools/gelc_lint.cc is a thin CLI over this
+// library so tests/lint_test.cc can exercise every layer in-process.
+//
+// The pipeline (LintProgram):
+//   1. Harvest: every file is lexed once — tokens, includes, NOLINT map —
+//      in parallel over files (base/parallel.h). Lexing is a pure
+//      function of the bytes, so the harvest is bit-identical at any
+//      thread count.
+//   2. Index: Status/Result function names, GELC_GUARDED_BY annotations,
+//      and std::atomic declarations are merged serially into one
+//      ProgramIndex.
+//   3. Per-file rules + the parallel-region race pass run per file, in
+//      parallel, with per-file NOLINT applied.
+//   4. Whole-program include-graph passes (layering + cycles) run once
+//      over the harvested include DAG, with NOLINT applied through each
+//      finding's file harvest.
+//   5. Findings are filtered by LintOptions::rules and sorted by
+//      (file, line, rule) — deterministic regardless of thread count.
 #ifndef GELC_LINT_LINTER_H_
 #define GELC_LINT_LINTER_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "base/status.h"
@@ -14,10 +31,36 @@
 namespace gelc {
 namespace lint {
 
-/// Lints one in-memory source. `path` decides path-scoped rules
-/// (header-ness, src/gnn, base/parallel, base/rng exemptions);
-/// NOLINT-suppressed findings are dropped. Unknown rule names inside a
-/// NOLINT(...) list suppress nothing.
+/// One in-memory source file handed to LintProgram.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Pipeline knobs. An empty `rules` set means "all rules"; a non-empty
+/// set keeps only findings whose rule is listed (whole-program passes
+/// still run — filtering is on output, so a --rule=include-cycle run
+/// sees cycles that only exist across the full file set).
+struct LintOptions {
+  std::unordered_set<std::string> rules;
+};
+
+/// The whole-program pipeline over in-memory sources; see the file
+/// comment for the pass structure. NOLINT-suppressed findings are
+/// dropped; unknown rule names inside a NOLINT(...) list suppress
+/// nothing.
+std::vector<Diagnostic> LintProgram(const std::vector<SourceFile>& files,
+                                    const LintOptions& options = {});
+
+/// LintProgram over files read from disk.
+Result<std::vector<Diagnostic>> LintTree(const std::vector<std::string>& files,
+                                         const LintOptions& options = {});
+
+/// Lints one in-memory source as a single-file program: per-file rules
+/// plus the race pass, with the cross-file index built from this file
+/// alone and the given extra Status-function names. Include-graph passes
+/// need more than one file and are skipped. `path` decides path-scoped
+/// rules (header-ness, src/gnn, base/parallel, base/rng exemptions).
 std::vector<Diagnostic> LintSource(const std::string& path,
                                    std::string_view content,
                                    const StatusFunctionSet& status_functions);
@@ -29,23 +72,20 @@ std::vector<Diagnostic> LintSource(const std::string& path,
 Result<std::vector<std::string>> CollectFiles(
     const std::vector<std::string>& paths);
 
-/// Pass 1 over the tree: harvest the names of Status/Result-returning
-/// functions from every file's declarations.
-Result<StatusFunctionSet> CollectStatusFunctions(
-    const std::vector<std::string>& files);
-
-/// Pass 2: lint every file against the harvested index. Diagnostics come
-/// back sorted by (file, line, rule).
-Result<std::vector<Diagnostic>> LintFiles(
-    const std::vector<std::string>& files,
-    const StatusFunctionSet& status_functions);
+/// Dry-run report for `gelc_lint --fix-includes`: reads the files,
+/// builds the include graph, and describes the minimal offending chain
+/// and a fix hint per layering violation and cycle. Empty string when
+/// the graph is clean. NOLINT does not apply here — the report is an
+/// explanation, not a gate.
+Result<std::string> FixIncludesForTree(const std::vector<std::string>& files);
 
 /// "path:line: [rule] message" lines plus a one-line summary.
 std::string FormatText(const std::vector<Diagnostic>& diags);
 
 /// Machine-readable report:
 ///   {"findings": [{"file": ..., "line": N, "rule": ..., "message": ...},
-///    ...], "count": N}
+///    ...], "by_rule": {"rule": N, ...}, "count": N}
+/// `by_rule` lists rules with at least one finding, alphabetically.
 std::string FormatJson(const std::vector<Diagnostic>& diags);
 
 }  // namespace lint

@@ -1,0 +1,435 @@
+#include "lint/parallel_region.h"
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+
+namespace gelc {
+namespace lint {
+namespace {
+
+bool IsIdent(const Token& tok) { return tok.kind == TokenKind::kIdentifier; }
+
+bool IsPunct(const Token& tok, const char* text) {
+  return tok.kind == TokenKind::kPunct && tok.text == text;
+}
+
+/// Keywords that may precede an identifier without making it a
+/// declaration (`return x = ...` is not a decl of x).
+bool IsNonDeclKeyword(const std::string& word) {
+  static const std::unordered_set<std::string> kWords = {
+      "return", "delete",   "new",  "throw",    "goto",     "break",
+      "continue", "else",   "do",   "case",     "co_return", "co_yield",
+      "co_await", "sizeof", "if",   "while",    "switch",    "not",
+  };
+  return kWords.count(word) > 0;
+}
+
+bool IsAtomicMethod(const std::string& name) {
+  static const std::unordered_set<std::string> kMethods = {
+      "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or",  "fetch_xor", "store",
+      "exchange",  "compare_exchange_weak", "compare_exchange_strong",
+  };
+  return kMethods.count(name) > 0;
+}
+
+bool IsMutatorMethod(const std::string& name) {
+  static const std::unordered_set<std::string> kMethods = {
+      "push_back", "emplace_back", "pop_back", "insert", "emplace",
+      "erase",     "clear",        "resize",   "assign",
+  };
+  return kMethods.count(name) > 0;
+}
+
+bool IsLockType(const std::string& name) {
+  static const std::unordered_set<std::string> kTypes = {
+      "lock_guard", "scoped_lock", "unique_lock", "shared_lock",
+  };
+  return kTypes.count(name) > 0;
+}
+
+/// Index just past the group closed by the matcher of tokens[at] (which
+/// must be `open`). Tolerates unbalanced input by stopping at the end.
+size_t SkipBalanced(const std::vector<Token>& tokens, size_t at,
+                    const char* open, const char* close) {
+  int depth = 0;
+  for (size_t i = at; i < tokens.size(); ++i) {
+    if (IsPunct(tokens[i], open)) ++depth;
+    if (IsPunct(tokens[i], close) && --depth == 0) return i + 1;
+  }
+  return tokens.size();
+}
+
+/// Skips a template-argument group starting at tokens[at] == "<";
+/// understands `>>` closing two levels. Returns the index just past the
+/// closing angle (or `at` unchanged if this is not a balanced group, to
+/// keep `a < b` comparisons from derailing the caller).
+size_t SkipAngles(const std::vector<Token>& tokens, size_t at) {
+  int depth = 0;
+  for (size_t i = at; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+    if (IsPunct(tok, "<")) {
+      ++depth;
+    } else if (IsPunct(tok, ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (IsPunct(tok, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (IsPunct(tok, ";") || IsPunct(tok, "{") || IsPunct(tok, ")")) {
+      break;  // not a template group after all
+    }
+  }
+  return at;
+}
+
+/// Parsed capture list of one lambda.
+struct Captures {
+  bool default_ref = false;  // [&]
+  bool default_val = false;  // [=]
+  std::unordered_set<std::string> by_ref;
+  std::unordered_set<std::string> by_val;
+};
+
+/// Parses `[...]` at tokens[at] == "[". Returns the index just past the
+/// closing bracket; fills `out`. Init-captures bind the introduced name;
+/// `this` / `*this` are ignored (member races are out of scope here).
+size_t ParseCaptures(const std::vector<Token>& tokens, size_t at,
+                     Captures* out) {
+  size_t end = SkipBalanced(tokens, at, "[", "]");
+  size_t i = at + 1;
+  while (i + 1 < end) {
+    bool by_ref = false;
+    if (IsPunct(tokens[i], "&")) {
+      // Default-ref capture: bare `&` followed by `,` or `]`.
+      if (i + 1 >= end - 1 || IsPunct(tokens[i + 1], ",")) {
+        out->default_ref = true;
+        i += 2;
+        continue;
+      }
+      by_ref = true;
+      ++i;
+    } else if (IsPunct(tokens[i], "=")) {
+      out->default_val = true;
+      i += 2;  // `=` then `,`
+      continue;
+    } else if (IsPunct(tokens[i], "*")) {
+      ++i;  // *this
+    }
+    if (i < end - 1 && IsIdent(tokens[i]) && tokens[i].text != "this") {
+      (by_ref ? out->by_ref : out->by_val).insert(tokens[i].text);
+    }
+    // Advance to the `,` at capture-list depth (init-captures may hold
+    // nested groups with commas of their own), then step past it.
+    while (i < end - 1 && !IsPunct(tokens[i], ",")) {
+      if (IsPunct(tokens[i], "(")) {
+        i = SkipBalanced(tokens, i, "(", ")");
+      } else if (IsPunct(tokens[i], "{")) {
+        i = SkipBalanced(tokens, i, "{", "}");
+      } else if (IsPunct(tokens[i], "[")) {
+        i = SkipBalanced(tokens, i, "[", "]");
+      } else {
+        ++i;
+      }
+    }
+    ++i;
+  }
+  return end;
+}
+
+/// Collects parameter names from the `(...)` at tokens[at] == "(". A
+/// parameter name is an identifier directly followed by `,` or `)` (at
+/// the top paren level) and preceded by an identifier, `>`, `*`, or `&`
+/// — which excludes unnamed parameters like `(size_t, size_t)` where the
+/// type itself sits before the separator with only punctuation behind it.
+size_t ParseParams(const std::vector<Token>& tokens, size_t at,
+                   std::unordered_set<std::string>* names) {
+  size_t end = SkipBalanced(tokens, at, "(", ")");
+  int depth = 0;
+  for (size_t i = at; i < end; ++i) {
+    if (IsPunct(tokens[i], "(")) ++depth;
+    if (IsPunct(tokens[i], ")")) --depth;
+    if (depth != 1 || !IsIdent(tokens[i]) || i + 1 >= end || i == at + 1) {
+      continue;
+    }
+    bool at_separator = IsPunct(tokens[i + 1], ",") ||
+                        (IsPunct(tokens[i + 1], ")") && i + 2 == end) ||
+                        IsPunct(tokens[i + 1], "=");  // default argument
+    const Token& prev = tokens[i - 1];
+    bool after_type = IsIdent(prev) || IsPunct(prev, ">") ||
+                      IsPunct(prev, "*") || IsPunct(prev, "&") ||
+                      IsPunct(prev, "&&");
+    if (at_separator && after_type && !IsNonDeclKeyword(tokens[i].text)) {
+      names->insert(tokens[i].text);
+    }
+  }
+  return end;
+}
+
+/// One lambda to analyze: capture list, params, body token range.
+struct Lambda {
+  Captures captures;
+  std::unordered_set<std::string> params;
+  size_t body_begin = 0;  // first token inside `{`
+  size_t body_end = 0;    // the matching `}` itself
+};
+
+/// Parses the lambda whose introducer `[` is at tokens[at]. Returns
+/// false when no body brace is found (e.g. a subscript, not a lambda).
+bool ParseLambda(const std::vector<Token>& tokens, size_t at, Lambda* out) {
+  size_t i = ParseCaptures(tokens, at, &out->captures);
+  if (i < tokens.size() && IsPunct(tokens[i], "(")) {
+    i = ParseParams(tokens, i, &out->params);
+  }
+  // Skip specifiers / trailing return type up to the body. Parenthesized
+  // groups (noexcept(...)) are skipped whole; a `;`, `,` or `)` first
+  // means this was not a lambda with a body here.
+  while (i < tokens.size()) {
+    if (IsPunct(tokens[i], "{")) {
+      out->body_begin = i + 1;
+      out->body_end = SkipBalanced(tokens, i, "{", "}") - 1;
+      return out->body_end > out->body_begin;
+    }
+    if (IsPunct(tokens[i], "(")) {
+      i = SkipBalanced(tokens, i, "(", ")");
+      continue;
+    }
+    if (IsPunct(tokens[i], ";") || IsPunct(tokens[i], ",") ||
+        IsPunct(tokens[i], ")")) {
+      return false;
+    }
+    ++i;
+  }
+  return false;
+}
+
+/// Collects names declared inside the body: an identifier preceded by a
+/// non-keyword identifier / `>` / `*` / `&` (the tail of a type) and
+/// followed by `=`, `;`, `{`, `(`, or `:` (initializer, ctor call, or
+/// range-for binding). Conservative in the permissive direction — a
+/// false "local" only silences the rule.
+void CollectLocals(const std::vector<Token>& tokens, size_t begin, size_t end,
+                   std::unordered_set<std::string>* locals) {
+  for (size_t i = begin + 1; i + 1 < end; ++i) {
+    if (!IsIdent(tokens[i])) continue;
+    const Token& prev = tokens[i - 1];
+    const Token& next = tokens[i + 1];
+    bool after_type =
+        (IsIdent(prev) && !IsNonDeclKeyword(prev.text)) ||
+        IsPunct(prev, ">") || IsPunct(prev, "*") || IsPunct(prev, "&") ||
+        IsPunct(prev, "&&");
+    bool before_init = IsPunct(next, "=") || IsPunct(next, ";") ||
+                       IsPunct(next, "{") || IsPunct(next, "(") ||
+                       IsPunct(next, ":");
+    if (after_type && before_init) locals->insert(tokens[i].text);
+  }
+}
+
+/// Whether the balanced group beginning at tokens[at] (`(` or `[`)
+/// contains an identifier from `names`. Returns the index past the group
+/// via *past.
+bool GroupContains(const std::vector<Token>& tokens, size_t at,
+                   const char* open, const char* close,
+                   const std::unordered_set<std::string>& names,
+                   size_t* past) {
+  size_t end = SkipBalanced(tokens, at, open, close);
+  *past = end;
+  for (size_t i = at + 1; i + 1 < end + 1 && i < end; ++i) {
+    if (IsIdent(tokens[i]) && names.count(tokens[i].text) > 0) return true;
+  }
+  return false;
+}
+
+/// Whether the region body takes a lock that names `mutex`: either a
+/// RAII lock (`std::lock_guard<std::mutex> l(mu);` and friends) whose
+/// constructor arguments mention it, or an explicit `mu.lock()`.
+bool BodyLocks(const std::vector<Token>& tokens, size_t begin, size_t end,
+               const std::string& mutex) {
+  for (size_t i = begin; i < end; ++i) {
+    if (!IsIdent(tokens[i])) continue;
+    if (IsLockType(tokens[i].text)) {
+      size_t j = i + 1;
+      if (j < end && IsPunct(tokens[j], "<")) j = SkipAngles(tokens, j);
+      if (j < end && IsIdent(tokens[j])) ++j;  // the lock variable name
+      if (j < end && (IsPunct(tokens[j], "(") || IsPunct(tokens[j], "{"))) {
+        size_t past;
+        const char* close = IsPunct(tokens[j], "(") ? ")" : "}";
+        const char* open = IsPunct(tokens[j], "(") ? "(" : "{";
+        if (GroupContains(tokens, j, open, close, {mutex}, &past)) return true;
+      }
+    }
+    if (tokens[i].text == mutex && i + 2 < end && IsPunct(tokens[i + 1], ".") &&
+        IsIdent(tokens[i + 2]) && tokens[i + 2].text == "lock") {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Analyzes one parallel-region lambda and appends findings.
+void CheckLambdaBody(const FileContext& ctx, const ProgramIndex& index,
+                     const Lambda& lambda, std::vector<Diagnostic>* out) {
+  const std::vector<Token>& tokens = ctx.lex->tokens;
+  std::unordered_set<std::string> locals = lambda.params;
+  CollectLocals(tokens, lambda.body_begin - 1, lambda.body_end, &locals);
+
+  for (size_t i = lambda.body_begin; i < lambda.body_end; ++i) {
+    if (!IsIdent(tokens[i])) continue;
+    const std::string& name = tokens[i].text;
+    // Only the head of an access chain: skip members and qualified names.
+    if (i > 0 && (IsPunct(tokens[i - 1], ".") || IsPunct(tokens[i - 1], "->") ||
+                  IsPunct(tokens[i - 1], "::"))) {
+      continue;
+    }
+    bool prefix_incdec =
+        i > 0 && (IsPunct(tokens[i - 1], "++") || IsPunct(tokens[i - 1], "--"));
+
+    // Walk the postfix chain: subscripts, calls, and member selections.
+    bool shard_indexed = false;
+    bool atomic_call = false;
+    bool mutator_call = false;
+    size_t j = i + 1;
+    while (j < lambda.body_end) {
+      const Token& tok = tokens[j];
+      if (IsPunct(tok, "[") || IsPunct(tok, "(")) {
+        const char* open = IsPunct(tok, "[") ? "[" : "(";
+        const char* close = IsPunct(tok, "[") ? "]" : ")";
+        size_t past;
+        if (GroupContains(tokens, j, open, close, locals, &past)) {
+          shard_indexed = true;
+        }
+        j = past;
+        continue;
+      }
+      if ((IsPunct(tok, ".") || IsPunct(tok, "->")) && j + 1 < lambda.body_end &&
+          IsIdent(tokens[j + 1])) {
+        const std::string& member = tokens[j + 1].text;
+        bool is_call =
+            j + 2 < lambda.body_end && IsPunct(tokens[j + 2], "(");
+        if (is_call && IsAtomicMethod(member)) atomic_call = true;
+        if (is_call && IsMutatorMethod(member)) mutator_call = true;
+        j += 2;
+        continue;
+      }
+      break;
+    }
+
+    // Is the chain written to?
+    bool written = prefix_incdec || mutator_call || atomic_call;
+    if (!written && j < lambda.body_end) {
+      const Token& after = tokens[j];
+      written = IsPunct(after, "=") || IsPunct(after, "+=") ||
+                IsPunct(after, "-=") || IsPunct(after, "*=") ||
+                IsPunct(after, "/=") || IsPunct(after, "%=") ||
+                IsPunct(after, "&=") || IsPunct(after, "|=") ||
+                IsPunct(after, "^=") || IsPunct(after, "<<=") ||
+                IsPunct(after, ">>=") || IsPunct(after, "++") ||
+                IsPunct(after, "--");
+    }
+    if (!written) continue;
+
+    // Shared-state writes only: locals and loop variables are private.
+    if (locals.count(name) > 0) continue;
+    bool by_ref = lambda.captures.by_ref.count(name) > 0 ||
+                  (lambda.captures.default_ref &&
+                   lambda.captures.by_val.count(name) == 0);
+    if (!by_ref) continue;
+
+    // Exemptions: sharding, atomics, and guarded writes under a lock.
+    if (shard_indexed || atomic_call) continue;
+    if (index.atomic_vars.count(name) > 0) continue;
+    auto guarded = index.guarded_by.find(name);
+    if (guarded != index.guarded_by.end() &&
+        BodyLocks(tokens, lambda.body_begin, lambda.body_end,
+                  guarded->second)) {
+      continue;
+    }
+
+    Diagnostic diag;
+    diag.file = ctx.path;
+    diag.line = tokens[i].line;
+    diag.rule = "parallel-region-race";
+    diag.message =
+        "write to '" + name +
+        "' captured by reference in a parallel region; shard it by the "
+        "loop index, use std::atomic, or annotate it GELC_GUARDED_BY a "
+        "mutex locked in the region";
+    if (guarded != index.guarded_by.end()) {
+      diag.message = "write to '" + name + "' GELC_GUARDED_BY('" +
+                     guarded->second +
+                     "') in a parallel region without locking it; take a "
+                     "lock_guard on '" +
+                     guarded->second + "' inside the region";
+    }
+    out->push_back(std::move(diag));
+  }
+}
+
+/// Finds the introducer `[` of a lambda bound earlier in the file as
+/// `name = [...]`. Returns the token index of `[`, or npos.
+size_t FindNamedLambda(const std::vector<Token>& tokens, size_t before,
+                       const std::string& name) {
+  for (size_t i = before; i-- > 2;) {
+    if (IsPunct(tokens[i], "[") && IsPunct(tokens[i - 1], "=") &&
+        IsIdent(tokens[i - 2]) && tokens[i - 2].text == name) {
+      return i;
+    }
+  }
+  return static_cast<size_t>(-1);
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CheckParallelRegions(const FileContext& ctx,
+                                             const ProgramIndex& index) {
+  std::vector<Diagnostic> out;
+  const std::vector<Token>& tokens = ctx.lex->tokens;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!IsIdent(tokens[i]) ||
+        (tokens[i].text != "ParallelFor" && tokens[i].text != "ParallelMap")) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (IsPunct(tokens[j], "<")) j = SkipAngles(tokens, j);
+    if (j >= tokens.size() || !IsPunct(tokens[j], "(")) continue;
+    size_t call_end = SkipBalanced(tokens, j, "(", ")");
+
+    // Top-level argument start positions of the call: just after the
+    // opening paren and after every depth-1 comma.
+    std::vector<size_t> arg_starts;
+    if (j + 1 < call_end) arg_starts.push_back(j + 1);
+    int depth = 1;
+    for (size_t k = j + 1; k + 1 < call_end; ++k) {
+      if (IsPunct(tokens[k], "(") || IsPunct(tokens[k], "[") ||
+          IsPunct(tokens[k], "{")) {
+        ++depth;
+      } else if (IsPunct(tokens[k], ")") || IsPunct(tokens[k], "]") ||
+                 IsPunct(tokens[k], "}")) {
+        --depth;
+      } else if (depth == 1 && IsPunct(tokens[k], ",")) {
+        arg_starts.push_back(k + 1);
+      }
+    }
+    for (size_t p : arg_starts) {
+      Lambda lambda;
+      if (IsPunct(tokens[p], "[")) {
+        if (ParseLambda(tokens, p, &lambda)) {
+          CheckLambdaBody(ctx, index, lambda, &out);
+        }
+      } else if (IsIdent(tokens[p]) && p + 1 < call_end &&
+                 (IsPunct(tokens[p + 1], ",") ||
+                  IsPunct(tokens[p + 1], ")"))) {
+        // Bare identifier argument: resolve `name = [...]` bound above.
+        size_t lb = FindNamedLambda(tokens, i, tokens[p].text);
+        if (lb != static_cast<size_t>(-1) &&
+            ParseLambda(tokens, lb, &lambda)) {
+          CheckLambdaBody(ctx, index, lambda, &out);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace gelc

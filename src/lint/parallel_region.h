@@ -1,0 +1,37 @@
+// Whole-program pass: a lightweight race detector for parallel regions,
+// in the spirit of Clang's -Wthread-safety but at the token level. It
+// finds lambdas handed to ParallelFor / ParallelMap (base/parallel.h),
+// classifies their captures, and flags writes through by-reference
+// captures unless the write is
+//
+//   - shard-indexed: some subscript or call-argument group in the access
+//     chain names a loop variable or body-local (`out[i] = ...`,
+//     `k.At(i, j) = ...`),
+//   - atomic: the target is declared std::atomic<...> or the write goes
+//     through an atomic member call (fetch_add, store, ...), or
+//   - annotated GELC_GUARDED_BY(mu) (base/logging.h) with a lock naming
+//     `mu` taken inside the region (lock_guard/scoped_lock/unique_lock,
+//     or an explicit mu.lock()).
+//
+// Rule name: parallel-region-race. Like every rule, findings here are
+// raw; NOLINT suppression is applied by the linter driver.
+#ifndef GELC_LINT_PARALLEL_REGION_H_
+#define GELC_LINT_PARALLEL_REGION_H_
+
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace gelc {
+namespace lint {
+
+/// Runs the race detector over one file. `index` supplies the cross-file
+/// GELC_GUARDED_BY and std::atomic harvests; the capture and write
+/// analysis itself is purely local to each parallel region.
+std::vector<Diagnostic> CheckParallelRegions(const FileContext& ctx,
+                                             const ProgramIndex& index);
+
+}  // namespace lint
+}  // namespace gelc
+
+#endif  // GELC_LINT_PARALLEL_REGION_H_

@@ -480,6 +480,10 @@ const std::vector<std::string>& AllRuleNames() {
       "nondeterminism",    "banned-alloc",
       "intrinsics-outside-tensor",
       "include-hygiene",
+      // Whole-program passes (lint/parallel_region.h, lint/include_graph.h).
+      "parallel-region-race",
+      "include-layering",
+      "include-cycle",
   };
   return kNames;
 }
@@ -532,18 +536,103 @@ void CollectStatusFunctionsFromTokens(const std::vector<Token>& tokens,
     } else {
       continue;
     }
-    // Possibly-qualified declarator: Name or Class::Name — record the
-    // final identifier if a '(' follows (a function declarator).
+    // Possibly-qualified declarator: Name, Class::Name, or the
+    // out-of-line template form Class<T>::Name — record the final
+    // identifier if a '(' follows (a function declarator). Template
+    // argument lists between segments are skipped, so methods of class
+    // templates defined out of line are indexed like any other.
     if (j >= t.size() || t[j].kind != TokenKind::kIdentifier) continue;
     std::string name = t[j].text;
     ++j;
-    while (j + 1 < t.size() && t[j].Is("::") &&
-           t[j + 1].kind == TokenKind::kIdentifier) {
-      name = t[j + 1].text;
-      j += 2;
+    while (j < t.size()) {
+      if (t[j].Is("<")) {
+        // Only skip the angle group when it closes back onto a `::`
+        // (declarator qualification); `Status x < y` is not a declarator.
+        int depth = 0;
+        size_t k = j;
+        for (; k < t.size(); ++k) {
+          if (t[k].Is("<")) ++depth;
+          if (t[k].Is(">") && --depth == 0) {
+            ++k;
+            break;
+          }
+          if (t[k].Is(">>")) {
+            depth -= 2;
+            if (depth <= 0) {
+              ++k;
+              break;
+            }
+          }
+          if (t[k].Is(";") || t[k].Is("{") || t[k].Is(")")) break;
+        }
+        if (depth > 0 || k >= t.size() || !t[k].Is("::")) break;
+        j = k;
+        continue;
+      }
+      if (j + 1 < t.size() && t[j].Is("::") &&
+          t[j + 1].kind == TokenKind::kIdentifier) {
+        name = t[j + 1].text;
+        j += 2;
+        continue;
+      }
+      break;
     }
     if (j < t.size() && t[j].Is("(")) out->insert(name);
   }
+}
+
+void CollectGuardedByFromTokens(
+    const std::vector<Token>& tokens,
+    std::unordered_map<std::string, std::string>* out) {
+  const Tokens& t = tokens;
+  for (size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    if (t[i + 1].kind != TokenKind::kIdentifier ||
+        t[i + 1].text != "GELC_GUARDED_BY") {
+      continue;
+    }
+    if (!t[i + 2].Is("(") || t[i + 3].kind != TokenKind::kIdentifier) continue;
+    (*out)[t[i].text] = t[i + 3].text;
+  }
+}
+
+void CollectAtomicVarsFromTokens(const std::vector<Token>& tokens,
+                                 std::unordered_set<std::string>* out) {
+  const Tokens& t = tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier || t[i].text != "atomic") continue;
+    if (!t[i + 1].Is("<")) continue;
+    // Skip the template argument list, then record the declarator name.
+    int depth = 0;
+    size_t j = i + 1;
+    for (; j < t.size(); ++j) {
+      if (t[j].Is("<")) ++depth;
+      if (t[j].Is(">") && --depth == 0) {
+        ++j;
+        break;
+      }
+      if (t[j].Is(">>")) {
+        depth -= 2;
+        if (depth <= 0) {
+          ++j;
+          break;
+        }
+      }
+      if (t[j].Is(";") || t[j].Is("{")) break;
+    }
+    if (depth > 0 || j >= t.size()) continue;
+    if (t[j].kind == TokenKind::kIdentifier) out->insert(t[j].text);
+  }
+}
+
+ProgramIndex BuildProgramIndex(const std::vector<FileHarvest>& files) {
+  ProgramIndex index;
+  for (const FileHarvest& f : files) {
+    CollectStatusFunctionsFromTokens(f.lex.tokens, &index.status_functions);
+    CollectGuardedByFromTokens(f.lex.tokens, &index.guarded_by);
+    CollectAtomicVarsFromTokens(f.lex.tokens, &index.atomic_vars);
+  }
+  return index;
 }
 
 }  // namespace lint

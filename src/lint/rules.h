@@ -6,6 +6,7 @@
 #define GELC_LINT_RULES_H_
 
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -28,12 +29,34 @@ struct Diagnostic {
 };
 
 /// Names of functions whose return value is a Status or Result<T>,
-/// harvested from declarations across the linted tree (see
-/// CollectStatusFunctions in lint/linter.h). The unchecked-status rule
-/// flags full-statement calls to these names.
+/// harvested from declarations across the linted tree (see the harvest
+/// pass in lint/linter.h). The unchecked-status rule flags
+/// full-statement calls to these names.
 using StatusFunctionSet = std::unordered_set<std::string>;
 
-/// Everything a rule needs to know about the file under analysis.
+/// One lexed file, as produced by the harvest pass: everything the
+/// per-file rules and the whole-program passes (lint/include_graph.h,
+/// lint/parallel_region.h) need, computed exactly once per file.
+struct FileHarvest {
+  std::string path;        // '/'-separated
+  bool is_header = false;  // path ends in .h
+  LexResult lex;
+};
+
+/// Cross-file facts harvested from every file before any rule runs:
+/// Status/Result-returning function names, GELC_GUARDED_BY annotations,
+/// and std::atomic variable declarations. Names are keyed without scope
+/// (a deliberate approximation: the tree's identifiers are distinct
+/// enough, and a false "guarded" entry only relaxes the race check).
+struct ProgramIndex {
+  StatusFunctionSet status_functions;
+  // variable name -> mutex token named in its GELC_GUARDED_BY(...)
+  std::unordered_map<std::string, std::string> guarded_by;
+  // names declared as std::atomic<...> (writes to them are atomic ops)
+  std::unordered_set<std::string> atomic_vars;
+};
+
+/// Everything a per-file rule needs to know about the file under analysis.
 struct FileContext {
   std::string path;    // as given on the command line, '/'-separated
   bool is_header;      // path ends in .h
@@ -49,9 +72,30 @@ const std::vector<std::string>& AllRuleNames();
 std::vector<Diagnostic> RunAllRules(const FileContext& ctx);
 
 /// Scans one file's tokens for declarations returning Status or
-/// Result<T> and adds the declared names to `out`.
+/// Result<T> and adds the declared names to `out`. Handles plain
+/// declarations (`Status Foo(...)`), out-of-line qualified method
+/// definitions (`Status Foo::Bar(...)`), and template-qualified ones
+/// (`Status Foo<T>::Bar(...)`), so a method declared in one file and
+/// defined in another is indexed either way.
 void CollectStatusFunctionsFromTokens(const std::vector<Token>& tokens,
                                       StatusFunctionSet* out);
+
+/// Scans for `IDENT GELC_GUARDED_BY(mu)` declaration annotations and
+/// records IDENT -> mu. The race detector (lint/parallel_region.h)
+/// accepts writes to annotated variables inside a parallel region only
+/// when the region also takes a lock naming `mu`.
+void CollectGuardedByFromTokens(
+    const std::vector<Token>& tokens,
+    std::unordered_map<std::string, std::string>* out);
+
+/// Scans for `atomic<...> IDENT` declarations and records IDENT, so the
+/// race detector can treat direct writes (`x++`, `x += k`) to atomics as
+/// atomic read-modify-writes rather than races.
+void CollectAtomicVarsFromTokens(const std::vector<Token>& tokens,
+                                 std::unordered_set<std::string>* out);
+
+/// Runs every harvest collector over every file and merges the results.
+ProgramIndex BuildProgramIndex(const std::vector<FileHarvest>& files);
 
 }  // namespace lint
 }  // namespace gelc

@@ -1,13 +1,19 @@
 // Tests for src/lint: the lexer, each rule of the catalogue firing on a
-// crafted snippet, NOLINT suppression, the Status-function harvest, and
-// the JSON report shape. Violation snippets live in string literals, so
-// gelc_lint's self-run over tests/ does not trip on its own fixtures.
+// crafted snippet, NOLINT suppression, the cross-file harvests, the
+// whole-program passes (include-graph layering/cycles and the
+// parallel-region race detector), and the report shapes. Violation
+// snippets live in string literals, so gelc_lint's self-run over tests/
+// does not trip on its own fixtures.
 #include <algorithm>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "base/parallel.h"
+#include "lint/layers.h"
 #include "lint/lexer.h"
 #include "lint/linter.h"
 #include "lint/rules.h"
@@ -91,6 +97,41 @@ TEST(LexerTest, NolintNextLine) {
   EXPECT_FALSE(lex.nolint.count(1));
   ASSERT_TRUE(lex.nolint.count(2));
   EXPECT_TRUE(lex.nolint.at(2).count("banned-alloc"));
+}
+
+TEST(LexerTest, NolintNextLineBindsToNextTokenBearingLine) {
+  // Blank lines and further comments between the marker and the code do
+  // not swallow the suppression.
+  LexResult lex = Lex(
+      "// NOLINTNEXTLINE(banned-alloc)\n"
+      "\n"
+      "// rationale continues here\n"
+      "int* p = new int;\n");
+  EXPECT_FALSE(lex.nolint.count(2));
+  EXPECT_FALSE(lex.nolint.count(3));
+  ASSERT_TRUE(lex.nolint.count(4));
+  EXPECT_TRUE(lex.nolint.at(4).count("banned-alloc"));
+}
+
+TEST(LexerTest, NolintNextLineAtEndOfFileSuppressesNothing) {
+  LexResult lex = Lex("int x;\n// NOLINTNEXTLINE\n");
+  EXPECT_TRUE(lex.nolint.empty());
+}
+
+TEST(LexerTest, HarvestsIncludeDirectives) {
+  LexResult lex = Lex(
+      "#include \"lint/lexer.h\"\n"
+      "#include <vector>\n"
+      "  #include \"base/status.h\"  // trailing comment\n"
+      "#define NOT_AN_INCLUDE \"x.h\"\n");
+  ASSERT_EQ(lex.includes.size(), 3u);
+  EXPECT_EQ(lex.includes[0].path, "lint/lexer.h");
+  EXPECT_FALSE(lex.includes[0].angled);
+  EXPECT_EQ(lex.includes[0].line, 1);
+  EXPECT_EQ(lex.includes[1].path, "vector");
+  EXPECT_TRUE(lex.includes[1].angled);
+  EXPECT_EQ(lex.includes[2].path, "base/status.h");
+  EXPECT_EQ(lex.includes[2].line, 3);
 }
 
 // --- Rule firing ----------------------------------------------------------
@@ -368,6 +409,289 @@ TEST(HarvestTest, CollectsStatusAndResultDeclarations) {
   EXPECT_FALSE(set.count("ok"));
 }
 
+TEST(HarvestTest, CollectsTemplateQualifiedDefinitions) {
+  LexResult lex = Lex(
+      "Status Builder<T>::Finish(int x) { return Status::OK(); }\n"
+      "Result<int> Cache<K, V>::Lookup(const K& k);\n"
+      "Status a < b;\n");  // comparison, not a declarator
+  StatusFunctionSet set;
+  CollectStatusFunctionsFromTokens(lex.tokens, &set);
+  EXPECT_TRUE(set.count("Finish"));
+  EXPECT_TRUE(set.count("Lookup"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(HarvestTest, CollectsGuardedByAnnotations) {
+  LexResult lex = Lex(
+      "std::set<int> seen GELC_GUARDED_BY(mu);\n"
+      "int plain = 0;\n");
+  std::unordered_map<std::string, std::string> map;
+  CollectGuardedByFromTokens(lex.tokens, &map);
+  ASSERT_TRUE(map.count("seen"));
+  EXPECT_EQ(map.at("seen"), "mu");
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(HarvestTest, CollectsAtomicDeclarations) {
+  LexResult lex = Lex(
+      "std::atomic<int> calls{0};\n"
+      "std::atomic<std::pair<int, int>> pair_box;\n"
+      "atomic_thread_fence(order);\n");
+  std::unordered_set<std::string> vars;
+  CollectAtomicVarsFromTokens(lex.tokens, &vars);
+  EXPECT_TRUE(vars.count("calls"));
+  EXPECT_TRUE(vars.count("pair_box"));
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+// --- Parallel-region race detector ----------------------------------------
+
+TEST(RaceTest, FlagsUnguardedByRefWrite) {
+  auto diags = RunOn("src/a.cc",
+                     "void f() {\n"
+                     "  double acc = 0.0;\n"
+                     "  ParallelFor(0, n, 1, [&](size_t b, size_t e) {\n"
+                     "    for (size_t i = b; i < e; ++i) acc += 1.0;\n"
+                     "  });\n"
+                     "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "parallel-region-race");
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_NE(diags[0].message.find("'acc'"), std::string::npos);
+}
+
+TEST(RaceTest, AcceptsShardIndexedWrites) {
+  // Subscripts and call arguments naming a loop variable (or any body
+  // local) make the write disjoint per index.
+  EXPECT_TRUE(RunOn("src/a.cc",
+                    "void f(std::vector<double>& out, Matrix& k) {\n"
+                    "  ParallelFor(0, n, 1, [&](size_t b, size_t e) {\n"
+                    "    for (size_t i = b; i < e; ++i) {\n"
+                    "      out[i] = 1.0;\n"
+                    "      k.At(i, 0) = 2.0;\n"
+                    "    }\n"
+                    "  });\n"
+                    "}\n")
+                  .empty());
+}
+
+TEST(RaceTest, AcceptsAtomicWrites) {
+  EXPECT_TRUE(RunOn("src/a.cc",
+                    "void f() {\n"
+                    "  std::atomic<long> sum{0};\n"
+                    "  std::atomic<int> calls{0};\n"
+                    "  ParallelFor(0, n, 1, [&](size_t b, size_t e) {\n"
+                    "    long local = 0;\n"
+                    "    sum.fetch_add(local);\n"
+                    "    ++calls;\n"
+                    "  });\n"
+                    "}\n")
+                  .empty());
+}
+
+TEST(RaceTest, GuardedByAcceptedOnlyWithLockInRegion) {
+  const std::string decl =
+      "std::mutex mu;  // NOLINT(raw-thread)\n"
+      "std::set<int> seen GELC_GUARDED_BY(mu);\n";
+  EXPECT_TRUE(
+      RunOn("src/a.cc",
+            decl +
+                "void f() {\n"
+                "  ParallelFor(0, n, 1, [&](size_t b, size_t e) {\n"
+                "    std::lock_guard<std::mutex> lock(mu);  "
+                "// NOLINT(raw-thread)\n"
+                "    seen.insert(0);\n"
+                "  });\n"
+                "}\n")
+          .empty());
+  auto bad = RunOn("src/a.cc",
+                   decl +
+                       "void f() {\n"
+                       "  ParallelFor(0, n, 1, [&](size_t b, size_t e) {\n"
+                       "    seen.insert(0);\n"
+                       "  });\n"
+                       "}\n");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0].rule, "parallel-region-race");
+  EXPECT_NE(bad[0].message.find("without locking"), std::string::npos);
+}
+
+TEST(RaceTest, ResolvesNamedLambdaArguments) {
+  auto diags = RunOn("src/a.cc",
+                     "void f() {\n"
+                     "  double acc = 0.0;\n"
+                     "  auto body = [&](size_t b, size_t e) { acc += 1.0; };\n"
+                     "  ParallelFor(0, n, 1, body);\n"
+                     "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "parallel-region-race");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(RaceTest, ByValueCapturesAreNotFlagged) {
+  EXPECT_TRUE(RunOn("src/a.cc",
+                    "void f() {\n"
+                    "  int snapshot = 3;\n"
+                    "  int shadow = 4;\n"
+                    "  ParallelFor(0, n, 1,\n"
+                    "              [=](size_t b, size_t e) mutable {\n"
+                    "                snapshot += 1;\n"
+                    "              });\n"
+                    "  ParallelFor(0, n, 1, [&, shadow](size_t b,\n"
+                    "                                   size_t e) mutable {\n"
+                    "    shadow += 1;\n"
+                    "  });\n"
+                    "}\n")
+                  .empty());
+}
+
+TEST(RaceTest, NolintSuppressesRaceFindings) {
+  EXPECT_TRUE(RunOn("src/a.cc",
+                    "void f() {\n"
+                    "  double acc = 0.0;\n"
+                    "  ParallelFor(0, n, 1, [&](size_t b, size_t e) {\n"
+                    "    acc += 1.0;  // NOLINT(parallel-region-race)\n"
+                    "  });\n"
+                    "}\n")
+                  .empty());
+}
+
+// --- Whole-program pipeline -----------------------------------------------
+
+TEST(ProgramTest, CrossFileStatusHarvest) {
+  std::vector<SourceFile> files = {
+      {"src/graph/graph.h", "Status AddEdge(VertexId u, VertexId v);\n"},
+      {"src/a.cc", "void f(Graph& g) { g.AddEdge(0, 1); }\n"},
+  };
+  auto diags = LintProgram(files);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unchecked-status");
+  EXPECT_EQ(diags[0].file, "src/a.cc");
+}
+
+TEST(ProgramTest, LayeringViolationFlagged) {
+  std::vector<SourceFile> files = {
+      {"src/base/low.h", "#include \"tensor/high.h\"\n"},
+      {"src/tensor/high.h", "\n"},
+  };
+  auto diags = LintProgram(files);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "include-layering");
+  EXPECT_EQ(diags[0].file, "src/base/low.h");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_NE(diags[0].message.find("base/low.h -> tensor/high.h"),
+            std::string::npos);
+}
+
+TEST(ProgramTest, IncludeCycleFlagged) {
+  std::vector<SourceFile> files = {
+      {"src/graph/a.h", "#include \"graph/b.h\"\n"},
+      {"src/graph/b.h", "#include \"graph/a.h\"\n"},
+  };
+  auto diags = LintProgram(files);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "include-cycle");
+  EXPECT_NE(
+      diags[0].message.find("graph/a.h -> graph/b.h -> graph/a.h"),
+      std::string::npos);
+}
+
+TEST(ProgramTest, SameRankAndDownwardIncludesAllowed) {
+  // wl and hom share a rank; graph sits below both; system headers and
+  // unresolved quoted includes are ignored.
+  std::vector<SourceFile> files = {
+      {"src/wl/kernel.h",
+       "#include <vector>\n"
+       "#include \"hom/count.h\"\n"
+       "#include \"graph/graph.h\"\n"
+       "#include \"not/in/the/set.h\"\n"},
+      {"src/hom/count.h", "\n"},
+      {"src/graph/graph.h", "\n"},
+  };
+  EXPECT_TRUE(LintProgram(files).empty());
+}
+
+TEST(ProgramTest, NolintSuppressesLayeringFinding) {
+  std::vector<SourceFile> files = {
+      {"src/base/low.h",
+       "#include \"tensor/high.h\"  // NOLINT(include-layering)\n"},
+      {"src/tensor/high.h", "\n"},
+  };
+  EXPECT_TRUE(LintProgram(files).empty());
+}
+
+TEST(ProgramTest, RuleFilterKeepsOnlyNamedRules) {
+  std::vector<SourceFile> files = {
+      {"src/base/low.h", "#include \"tensor/high.h\"\n"},
+      {"src/tensor/high.h", "int* p = new int;\n"},
+  };
+  EXPECT_EQ(LintProgram(files).size(), 2u);
+  LintOptions opts;
+  opts.rules = {"include-layering"};
+  auto diags = LintProgram(files, opts);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "include-layering");
+}
+
+TEST(ProgramTest, ReportIdenticalAtAnyThreadCount) {
+  // The lint report must be byte-identical however the harvest and
+  // per-file passes are sharded — same contract as the numeric kernels.
+  std::vector<SourceFile> files;
+  for (int i = 0; i < 12; ++i) {
+    files.push_back(SourceFile{
+        "src/f" + std::to_string(i) + ".cc",
+        "int* p" + std::to_string(i) + " = new int;\n"});
+  }
+  files.push_back(SourceFile{"src/base/low.h",
+                             "#include \"tensor/high.h\"\n"});
+  files.push_back(SourceFile{"src/tensor/high.h", "\n"});
+  std::string serial, parallel;
+  {
+    SetParallelThreadCount(1);
+    serial = FormatText(LintProgram(files));
+  }
+  {
+    SetParallelThreadCount(4);
+    parallel = FormatText(LintProgram(files));
+  }
+  SetParallelThreadCount(0);
+  EXPECT_NE(serial.find("13 findings"), std::string::npos);
+  EXPECT_EQ(serial, parallel);
+}
+
+// --- Layer table ----------------------------------------------------------
+
+TEST(LayersTest, RanksFollowTheDeclaredOrder) {
+  std::string module;
+  EXPECT_EQ(LayerRank("src/base/status.h", &module), 0);
+  EXPECT_EQ(module, "base");
+  EXPECT_LT(LayerRank("src/obs/metrics.h", &module),
+            LayerRank("src/tensor/matrix.h", &module));
+  EXPECT_LT(LayerRank("src/gnn/mpnn.cc", &module),
+            LayerRank("src/core/plan.h", &module));
+  // wl and hom share a rank; all app-tier directories share the top one.
+  EXPECT_EQ(LayerRank("src/wl/kwl.cc", &module),
+            LayerRank("src/hom/hom_count.cc", &module));
+  EXPECT_EQ(LayerRank("tests/lint_test.cc", &module),
+            LayerRank("tools/gelc_lint.cc", &module));
+  EXPECT_GT(LayerRank("tests/lint_test.cc", &module),
+            LayerRank("src/separation/separation.h", &module));
+  // Files outside the layered tree are exempt.
+  EXPECT_EQ(LayerRank("README.md", &module), -1);
+}
+
+TEST(LayersTest, EveryGroupModuleRoundTrips) {
+  for (const auto& group : LayerGroups()) {
+    for (const std::string& m : group) {
+      std::string module;
+      int rank = LayerRank("src/" + m + "/file.h", &module);
+      EXPECT_GE(rank, 0) << m;
+      EXPECT_EQ(module, m);
+    }
+  }
+  EXPECT_NE(LayerOrderDescription().find("base < obs"), std::string::npos);
+}
+
 // --- NOLINT suppression ---------------------------------------------------
 
 TEST(SuppressionTest, BareNolintSuppressesEverythingOnTheLine) {
@@ -405,6 +729,47 @@ TEST(SuppressionTest, UnknownRuleNameSuppressesNothing) {
   EXPECT_EQ(diags[0].rule, "banned-alloc");
 }
 
+TEST(SuppressionTest, NolintNextLineAboveMultiLineStatement) {
+  // The marker reaches the line the statement starts on; a finding
+  // anchored to a continuation line needs its own inline NOLINT.
+  EXPECT_TRUE(RunOn("src/a.cc",
+                    "// NOLINTNEXTLINE(banned-alloc)\n"
+                    "int* p = new int(\n"
+                    "    3);\n")
+                  .empty());
+  auto diags = RunOn("src/a.cc",
+                     "// NOLINTNEXTLINE(banned-alloc)\n"
+                     "int* p =\n"
+                     "    new int;\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(SuppressionTest, MultiRuleListWithAndWithoutSpaces) {
+  EXPECT_TRUE(RunOn("src/a.cc",
+                    "auto* t = new std::thread(f); "
+                    "// NOLINT(banned-alloc,raw-thread)\n")
+                  .empty());
+  EXPECT_TRUE(RunOn("src/a.cc",
+                    "auto* t = new std::thread(f); "
+                    "// NOLINT( banned-alloc , raw-thread )\n")
+                  .empty());
+}
+
+TEST(SuppressionTest, SuppressionCoexistsWithRealFindings) {
+  // Waiving one line must not eat findings elsewhere in the same file.
+  auto diags = RunOn("src/a.cc",
+                     "int* a = new int;  // NOLINT(banned-alloc)\n"
+                     "int* b = new int;\n"
+                     "std::mutex mu;  // NOLINT(raw-thread)\n"
+                     "int* c = new int;\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[1].line, 4);
+  EXPECT_EQ(diags[0].rule, "banned-alloc");
+  EXPECT_EQ(diags[1].rule, "banned-alloc");
+}
+
 // --- Reports --------------------------------------------------------------
 
 TEST(ReportTest, TextFormat) {
@@ -435,14 +800,29 @@ TEST(ReportTest, JsonEscapesSpecialCharacters) {
   EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
 }
 
+TEST(ReportTest, JsonByRuleSummary) {
+  auto diags = RunOn("src/a.cc",
+                     "int* p = new int;\n"
+                     "std::mutex mu;\n"
+                     "int* q = new int;\n");
+  ASSERT_EQ(diags.size(), 3u);
+  std::string json = FormatJson(diags);
+  EXPECT_NE(
+      json.find("\"by_rule\": {\"banned-alloc\": 2, \"raw-thread\": 1}"),
+      std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3}"), std::string::npos);
+  EXPECT_NE(FormatJson({}).find("\"by_rule\": {}"), std::string::npos);
+}
+
 TEST(ReportTest, AllRuleNamesListedOnce) {
   const auto& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 13u);
   for (const char* expected :
        {"unchecked-status", "dense-adjacency-in-hot-path",
         "interpreter-in-hot-path", "segment-boundary-indexing",
         "raw-thread", "adhoc-timing", "nondeterminism", "banned-alloc",
-        "intrinsics-outside-tensor", "include-hygiene"}) {
+        "intrinsics-outside-tensor", "include-hygiene",
+        "parallel-region-race", "include-layering", "include-cycle"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }

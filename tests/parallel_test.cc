@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/logging.h"
 #include "base/rng.h"
 #include "graph/generators.h"
 #include "tensor/matrix.h"
@@ -40,23 +41,23 @@ TEST(ParallelForTest, CoversRangeExactlyOnce) {
 
 TEST(ParallelForTest, EmptyAndSingletonRanges) {
   ScopedThreads threads(4);
-  int calls = 0;
+  std::atomic<int> calls{0};
   ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
-  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(calls.load(), 0);
   ParallelFor(5, 6, 1, [&](size_t begin, size_t end) {
     ++calls;
     EXPECT_EQ(begin, 5u);
     EXPECT_EQ(end, 6u);
   });
-  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(calls.load(), 1);
 }
 
 TEST(ParallelForTest, PoolIsReusedAcrossCalls) {
   ScopedThreads threads(4);
   // The pool's own test observes worker identities directly; this is the
   // one sanctioned consumer of raw thread primitives outside base/parallel.
-  std::mutex mu;                          // NOLINT(raw-thread)
-  std::set<std::thread::id> worker_ids;   // NOLINT(raw-thread)
+  std::mutex mu;  // NOLINT(raw-thread)
+  std::set<std::thread::id> worker_ids GELC_GUARDED_BY(mu);  // NOLINT(raw-thread)
   for (int rep = 0; rep < 50; ++rep) {
     std::atomic<long> sum{0};
     ParallelFor(0, 400, 1, [&](size_t begin, size_t end) {

@@ -2,14 +2,20 @@
 // "Correctness tooling", for the rule catalogue and suppression policy).
 //
 // Usage:
-//   gelc_lint [--format=text|json] [--list-rules] <path>...
+//   gelc_lint [--format=text|json] [--rule=a,b] [--list-rules]
+//             [--fix-includes] <path>...
 //
 // Each <path> is a file or a directory (recursed for *.h / *.cc; build
-// trees and dot-directories are skipped). Exit status: 0 when clean, 1
-// when findings were reported, 2 on usage or I/O errors. The repo gate is
-// registered as the `gelc_lint` ctest: `gelc_lint src tests bench examples`.
+// trees and dot-directories are skipped). `--rule=` filters the report to
+// the named rules (repeatable, comma-separated); every pass still runs,
+// so whole-program findings are exact. `--fix-includes` prints a dry-run
+// report of the minimal include chain behind each layering violation and
+// cycle instead of linting. Exit status: 0 when clean, 1 when findings
+// were reported, 2 on usage or I/O errors. The repo gates are registered
+// as the `gelc_lint` and `gelc_lint_wholeprogram` ctests.
 #include <cstdio>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "lint/linter.h"
@@ -18,15 +24,44 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: gelc_lint [--format=text|json] [--list-rules] "
-               "<path>...\n");
+               "usage: gelc_lint [--format=text|json] [--rule=a,b] "
+               "[--list-rules] [--fix-includes] <path>...\n");
   return 2;
+}
+
+/// Splits a --rule= value on commas into `out`; returns false (after
+/// printing the offender) if a name is not in the rule catalogue.
+bool AddRules(const std::string& list,
+              std::unordered_set<std::string>* out) {
+  std::unordered_set<std::string> known;
+  for (const std::string& r : gelc::lint::AllRuleNames()) known.insert(r);
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    size_t end = comma == std::string::npos ? list.size() : comma;
+    std::string name = list.substr(start, end - start);
+    if (!name.empty()) {
+      if (known.count(name) == 0) {
+        std::fprintf(stderr,
+                     "gelc_lint: unknown rule '%s' (--list-rules lists "
+                     "valid names)\n",
+                     name.c_str());
+        return false;
+      }
+      out->insert(name);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string format = "text";
+  bool fix_includes = false;
+  gelc::lint::LintOptions options;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -41,6 +76,14 @@ int main(int argc, char** argv) {
       if (format != "text" && format != "json") return Usage();
       continue;
     }
+    if (arg.rfind("--rule=", 0) == 0) {
+      if (!AddRules(arg.substr(7), &options.rules)) return 2;
+      continue;
+    }
+    if (arg == "--fix-includes") {
+      fix_includes = true;
+      continue;
+    }
     if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
       return Usage();
     }
@@ -53,12 +96,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "gelc_lint: %s\n", files.status().ToString().c_str());
     return 2;
   }
-  auto index = gelc::lint::CollectStatusFunctions(*files);
-  if (!index.ok()) {
-    std::fprintf(stderr, "gelc_lint: %s\n", index.status().ToString().c_str());
-    return 2;
+
+  if (fix_includes) {
+    auto report = gelc::lint::FixIncludesForTree(*files);
+    if (!report.ok()) {
+      std::fprintf(stderr, "gelc_lint: %s\n",
+                   report.status().ToString().c_str());
+      return 2;
+    }
+    if (report->empty()) {
+      std::printf("gelc_lint: include graph clean\n");
+      return 0;
+    }
+    std::fputs(report->c_str(), stdout);
+    return 1;
   }
-  auto diags = gelc::lint::LintFiles(*files, *index);
+
+  auto diags = gelc::lint::LintTree(*files, options);
   if (!diags.ok()) {
     std::fprintf(stderr, "gelc_lint: %s\n", diags.status().ToString().c_str());
     return 2;
