@@ -12,28 +12,37 @@
 #                            gelc_lint_wholeprogram gates, thread-variant
 #                            (GELC_NUM_THREADS=1/4) runs, and the
 #                            GELC_SIMD=0/fast simd_test variants
-#   4. forced-scalar ctest — the whole suite again with GELC_SIMD=0
+#   4. two-plane gate      — (a) deterministic-plane snapshots must be
+#                            byte-identical at GELC_NUM_THREADS=1 vs =4
+#                            with GELC_TIMINGS=1 (gelc_stats
+#                            --deterministic strips the timing plane and
+#                            the parallel.* scheduling metrics, which
+#                            describe the pool schedule and legitimately
+#                            vary); (b) the gelc_stats --diff regression
+#                            gate self-test: an injected counter increase
+#                            must exit nonzero, equal snapshots zero
+#   5. forced-scalar ctest — the whole suite again with GELC_SIMD=0
 #                            exported, so every differential/bit-identity
 #                            test also certifies the scalar fallback tier
 #                            a binary lands on when cpuid lacks AVX2/FMA
-#   5. sanitizer ctest     — ASAN+UBSAN build, full suite again (this is
+#   6. sanitizer ctest     — ASAN+UBSAN build, full suite again (this is
 #                            the run that chases the SIMD kernels' raw
 #                            pointer arithmetic, vector tails, and the
 #                            aligned-allocator new/delete pairing in
 #                            simd_test)
-#   6. TSAN ctest          — TSAN build of only the pool-worker-heavy
+#   7. TSAN ctest          — TSAN build of only the pool-worker-heavy
 #                            binaries (obs_test, parallel_test, plan_test,
 #                            fuzz_test, simd_test): the obs metrics shards
-#                            / trace ring buffers and the fused
-#                            plan-execution kernels are written from pool
-#                            workers, so their merge-on-read and
-#                            disjoint-row-shard paths get a dedicated
-#                            dynamic race check on top of gelc_lint's
-#                            static one (plan_test also carries the
-#                            compile/fuzz differential suites)
+#                            / trace ring buffers / latency-histogram
+#                            shards and the fused plan-execution kernels
+#                            are written from pool workers, so their
+#                            merge-on-read and disjoint-row-shard paths
+#                            get a dedicated dynamic race check on top of
+#                            gelc_lint's static one (plan_test also
+#                            carries the compile/fuzz differential suites)
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast  skip steps 5 and 6 (the sanitizer rebuilds) for quick
+#   --fast  skip steps 6 and 7 (the sanitizer rebuilds) for quick
 #           iteration; the full run is still required before the PR.
 set -euo pipefail
 
@@ -42,32 +51,62 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
-echo "== [1/6] build (with -Werror) =="
+echo "== [1/7] build (with -Werror) =="
 cmake -B build -S . -DGELC_WERROR=ON >/dev/null
 cmake --build build -j >/dev/null
 
-echo "== [2/6] gelc_lint =="
+echo "== [2/7] gelc_lint =="
 ./build/tools/gelc_lint src tests bench examples tools
 
-echo "== [3/6] ctest =="
+echo "== [3/7] ctest =="
 (cd build && ctest --output-on-failure -j)
 
-echo "== [4/6] ctest with GELC_SIMD=0 (forced scalar tier) =="
+echo "== [4/7] two-plane gate (snapshot byte-identity + diff self-test) =="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+# (a) With the timing plane ON, the deterministic plane must still be
+# byte-identical across thread counts.
+GELC_TIMINGS=1 GELC_NUM_THREADS=1 \
+  ./build/tools/gelc_stats --deterministic all >"$tmpdir/det_t1.json"
+GELC_TIMINGS=1 GELC_NUM_THREADS=4 \
+  ./build/tools/gelc_stats --deterministic all >"$tmpdir/det_t4.json"
+cmp "$tmpdir/det_t1.json" "$tmpdir/det_t4.json" || {
+  echo "check.sh: deterministic snapshots differ across thread counts" >&2
+  exit 1
+}
+# (b) The regression gate must trip on an injected counter increase and
+# stay quiet on identical snapshots.
+printf '{"counters": {"x.calls": 100}, "gauges": {}, "histograms": {}}\n' \
+  >"$tmpdir/diff_old.json"
+printf '{"counters": {"x.calls": 150}, "gauges": {}, "histograms": {}}\n' \
+  >"$tmpdir/diff_new.json"
+if ./build/tools/gelc_stats --diff "$tmpdir/diff_old.json" \
+    "$tmpdir/diff_new.json" --threshold 0.1 >/dev/null; then
+  echo "check.sh: --diff failed to flag an injected counter regression" >&2
+  exit 1
+fi
+./build/tools/gelc_stats --diff "$tmpdir/diff_old.json" \
+  "$tmpdir/diff_old.json" >/dev/null || {
+  echo "check.sh: --diff flagged equal snapshots" >&2
+  exit 1
+}
+
+echo "== [5/7] ctest with GELC_SIMD=0 (forced scalar tier) =="
 (cd build && GELC_SIMD=0 ctest --output-on-failure -j)
 
 if [[ "$fast" == "1" ]]; then
-  echo "== [5/6] SKIPPED (--fast): ASAN/UBSAN ctest =="
-  echo "== [6/6] SKIPPED (--fast): TSAN ctest =="
+  echo "== [6/7] SKIPPED (--fast): ASAN/UBSAN ctest =="
+  echo "== [7/7] SKIPPED (--fast): TSAN ctest =="
   exit 0
 fi
 
-echo "== [5/6] ASAN/UBSAN ctest =="
+echo "== [6/7] ASAN/UBSAN ctest =="
 cmake -B build-ubsan -S . -DGELC_ENABLE_ASAN=ON -DGELC_ENABLE_UBSAN=ON \
   >/dev/null
 cmake --build build-ubsan -j >/dev/null
 (cd build-ubsan && ctest --output-on-failure -j)
 
-echo "== [6/6] TSAN ctest =="
+echo "== [7/7] TSAN ctest =="
 cmake -B build-tsan -S . -DGELC_ENABLE_TSAN=ON >/dev/null
 cmake --build build-tsan -j --target obs_test parallel_test plan_test \
   fuzz_test simd_test >/dev/null

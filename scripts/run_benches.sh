@@ -7,7 +7,17 @@
 # temp file; the obs exit exporter dumps the whole run's metrics snapshot
 # there (single-line JSON, see src/obs/snapshot.h), which is spliced into
 # the regenerated BENCH file as a top-level "gelc_metrics" key alongside
-# google-benchmark's own "context"/"benchmarks".
+# google-benchmark's own "context"/"benchmarks". A "gelc_context" key
+# records the git SHA (with a -dirty suffix when the tree has local
+# edits) and the resolved SIMD tier, so diffs across the BENCH trajectory
+# are attributable to a commit and an instruction set.
+#
+# After regenerating a BENCH file, the previously checked-in version (git
+# HEAD) is compared with `gelc_stats --diff` — informational by default,
+# because bench iteration counts scale with min_time and machine load;
+# export GELC_BENCH_DIFF_STRICT=1 to fail the run on a deterministic
+# counter regression past 5%. The parallel.* scheduling counters are
+# always excluded (they track the pool schedule, not the workload).
 #
 # Usage: scripts/run_benches.sh [min_time] [filter-regex] [repetitions]
 #   min_time      --benchmark_min_time per bench (bare seconds; the
@@ -36,6 +46,12 @@ fi
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 
+git_sha="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD 2>/dev/null; then
+  git_sha="${git_sha}-dirty"
+fi
+simd_tier="$(./build/tools/gelc_stats --simd-tier)"
+
 for bin in build/bench/bench_p*; do
   name="${bin##*/bench_}"                  # e.g. p8_spmm
   short="${name%%_*}"                      # e.g. p8
@@ -51,11 +67,31 @@ for bin in build/bench/bench_p*; do
     ${rep_flags[@]+"${rep_flags[@]}"} \
     > "$raw"
   # The benchmark JSON opens with a bare '{' on its first line; splice
-  # the single-line snapshot in as the first top-level key.
+  # the single-line snapshot and the provenance block in as the first
+  # top-level keys.
+  old="$(mktemp)"
+  git show "HEAD:BENCH_${short}.json" > "$old" 2>/dev/null || : > "$old"
   {
     echo "{"
+    printf '  "gelc_context": {"git_sha": "%s", "simd_tier": "%s"},\n' \
+      "$git_sha" "$simd_tier"
     printf '  "gelc_metrics": %s,\n' "$(cat "$snap")"
     tail -n +2 "$raw"
   } > "BENCH_${short}.json"
-  rm -f "$snap" "$raw"
+  # Compare against the checked-in trajectory point. Informational unless
+  # GELC_BENCH_DIFF_STRICT=1: counters scale with bench iteration counts,
+  # which vary with min_time and machine load.
+  if [ -s "$old" ]; then
+    if ! ./build/tools/gelc_stats --diff "$old" "BENCH_${short}.json" \
+        --threshold 0.05 --ignore parallel. >&2; then
+      if [ "${GELC_BENCH_DIFF_STRICT:-0}" = "1" ]; then
+        echo "run_benches.sh: BENCH_${short}.json regressed vs HEAD" >&2
+        rm -f "$snap" "$raw" "$old"
+        exit 1
+      fi
+      echo "run_benches.sh: note: BENCH_${short}.json counters grew vs" \
+        "HEAD (informational; set GELC_BENCH_DIFF_STRICT=1 to fail)" >&2
+    fi
+  fi
+  rm -f "$snap" "$raw" "$old"
 done

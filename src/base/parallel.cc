@@ -15,6 +15,7 @@
 // header-only from base's perspective and keeping the instrumentation
 // here beats pushing a callback seam through every parallel call site.
 #include "obs/metrics.h"  // NOLINT(include-layering)
+#include "obs/timing.h"   // NOLINT(include-layering)
 #include "obs/trace.h"    // NOLINT(include-layering)
 
 namespace gelc {
@@ -142,6 +143,7 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
       "parallel.shards_per_call", {1, 2, 4, 8, 16, 32, 64});
   shard_hist->Observe(static_cast<int64_t>(shards));
   GELC_TRACE_SPAN("parallel.for", {{"n", n}, {"shards", shards}});
+  GELC_OBS_TIME("parallel.for");
 
   ThreadPool& pool = ThreadPool::Global();
   pool.EnsureWorkers(shards - 1);
@@ -170,12 +172,19 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
     const size_t b = bounds[s].first;
     const size_t e = bounds[s].second;
     pool.Submit([&state, &fn, b, e, s] {
-      GELC_TRACE_SPAN("parallel.shard", {{"shard", s}, {"len", e - b}});
-      try {
-        fn(b, e);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(state.mu);
-        if (!state.error) state.error = std::current_exception();
+      // Span and timer live in an inner scope so their destructors (which
+      // record the observations) run before the completion signal below:
+      // once pending hits 0 the caller may return and tear down state the
+      // next snapshot depends on, so nothing observable may trail it.
+      {
+        GELC_TRACE_SPAN("parallel.shard", {{"shard", s}, {"len", e - b}});
+        GELC_OBS_TIME("parallel.shard");
+        try {
+          fn(b, e);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state.mu);
+          if (!state.error) state.error = std::current_exception();
+        }
       }
       std::lock_guard<std::mutex> lock(state.mu);
       if (--state.pending == 0) state.done.notify_one();
@@ -184,6 +193,7 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   try {
     GELC_TRACE_SPAN("parallel.shard",
                     {{"shard", 0}, {"len", bounds[0].second - bounds[0].first}});
+    GELC_OBS_TIME("parallel.shard");
     fn(bounds[0].first, bounds[0].second);
   } catch (...) {
     std::lock_guard<std::mutex> lock(state.mu);

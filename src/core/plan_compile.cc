@@ -8,6 +8,7 @@
 #include "base/logging.h"
 #include "core/rewrite.h"
 #include "obs/metrics.h"
+#include "obs/timing.h"
 #include "obs/trace.h"
 
 namespace gelc {
@@ -612,6 +613,7 @@ Result<PlanPtr> CompileToPlan(const ExprPtr& e, const PlanOptions& options,
   CompileStats local;
   if (stats == nullptr) stats = &local;
   GELC_TRACE_SPAN("plan_compile", {{"tree_size", e->TreeSize()}});
+  GELC_OBS_TIME("plan_compile");
   static obs::Counter* compiles = obs::GetCounter("plan.compile_calls");
   compiles->Increment();
 

@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "obs/metrics.h"
+#include "obs/timing.h"
 #include "obs/trace.h"
 
 namespace gelc {
@@ -219,10 +220,12 @@ Result<TrainReport> TrainNodeClassifier(const NodeDataset& data,
   TrainReport report;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     GELC_TRACE_SPAN("train.epoch", {{"epoch", epoch}});
+    GELC_OBS_TIME("train.epoch");
     Tape tape;
     ValueId loss;
     {
       GELC_TRACE_SPAN("train.forward");
+      GELC_OBS_TIME("train.forward");
       ValueId logits = model->NodeLogits(&tape, data.graph, csr);
       ValueId train_logits = tape.GatherRows(logits, data.train_nodes);
       loss = tape.SoftmaxCrossEntropy(train_logits, train_labels);
@@ -230,10 +233,12 @@ Result<TrainReport> TrainNodeClassifier(const NodeDataset& data,
     opt.ZeroGrad();
     {
       GELC_TRACE_SPAN("train.backward");
+      GELC_OBS_TIME("train.backward");
       tape.Backward(loss);
     }
     {
       GELC_TRACE_SPAN("train.step");
+      GELC_OBS_TIME("train.step");
       opt.Step();
     }
     double epoch_loss = tape.value(loss).At(0, 0);
@@ -302,6 +307,7 @@ Result<TrainReport> TrainGraphClassifier(const GraphDataset& data,
   TrainReport report;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     GELC_TRACE_SPAN("train.epoch", {{"epoch", epoch}});
+    GELC_OBS_TIME("train.epoch");
     double epoch_loss_sum = 0.0;
     double last_batch_mean = 0.0;
     opt.ZeroGrad();
@@ -311,6 +317,7 @@ Result<TrainReport> TrainGraphClassifier(const GraphDataset& data,
       ValueId loss;
       {
         GELC_TRACE_SPAN("train.forward");
+        GELC_OBS_TIME("train.forward");
         ValueId logits = model->GraphLogits(&tape, mb.batch);
         loss = tape.SoftmaxCrossEntropy(logits, mb.labels);
       }
@@ -321,6 +328,7 @@ Result<TrainReport> TrainGraphClassifier(const GraphDataset& data,
       ValueId scaled = tape.Scale(loss, static_cast<double>(k));
       {
         GELC_TRACE_SPAN("train.backward");
+        GELC_OBS_TIME("train.backward");
         tape.Backward(scaled);
       }
       last_batch_mean = tape.value(loss).At(0, 0);
@@ -328,6 +336,7 @@ Result<TrainReport> TrainGraphClassifier(const GraphDataset& data,
     }
     {
       GELC_TRACE_SPAN("train.step");
+      GELC_OBS_TIME("train.step");
       opt.Step();
     }
     // With a single minibatch its cross-entropy already is the mean over
@@ -386,10 +395,12 @@ Result<TrainReport> TrainLinkPredictor(const LinkDataset& data,
   TrainReport report;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     GELC_TRACE_SPAN("train.epoch", {{"epoch", epoch}});
+    GELC_OBS_TIME("train.epoch");
     Tape tape;
     ValueId loss;
     {
       GELC_TRACE_SPAN("train.forward");
+      GELC_OBS_TIME("train.forward");
       ValueId logits =
           model->PairLogits(&tape, data.graph, csr, data.train_pairs);
       loss = tape.SoftmaxCrossEntropy(logits, data.train_labels);
@@ -397,10 +408,12 @@ Result<TrainReport> TrainLinkPredictor(const LinkDataset& data,
     opt.ZeroGrad();
     {
       GELC_TRACE_SPAN("train.backward");
+      GELC_OBS_TIME("train.backward");
       tape.Backward(loss);
     }
     {
       GELC_TRACE_SPAN("train.step");
+      GELC_OBS_TIME("train.step");
       opt.Step();
     }
     double epoch_loss = tape.value(loss).At(0, 0);

@@ -6,6 +6,7 @@
 #include "base/alloc_tune.h"
 #include "graph/csr.h"
 #include "obs/metrics.h"
+#include "obs/timing.h"
 #include "obs/trace.h"
 
 namespace gelc {
@@ -59,6 +60,7 @@ Result<GraphBatch> GraphBatch::Create(
   GELC_TRACE_SPAN("batch.pack", {{"graphs", graphs.size()},
                                  {"vertices", total_vertices},
                                  {"arcs", total_arcs}});
+  GELC_OBS_TIME("batch.pack");
 
   GraphBatch batch;
   batch.symmetric_ = !graphs[0]->directed();

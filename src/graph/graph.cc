@@ -5,6 +5,7 @@
 
 #include "base/logging.h"
 #include "obs/metrics.h"
+#include "obs/timing.h"
 
 namespace gelc {
 
@@ -90,6 +91,7 @@ const CsrGraph& Graph::Csr() const {
   if (csr_ == nullptr) {
     static obs::Counter* misses = obs::GetCounter("graph.csr_cache.misses");
     misses->Increment();
+    GELC_OBS_TIME("graph.csr_build");
     csr_ = std::make_shared<const CsrGraph>(*this);
   } else {
     static obs::Counter* hits = obs::GetCounter("graph.csr_cache.hits");

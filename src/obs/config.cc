@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
+#include "obs/timing.h"
 #include "obs/trace.h"
 
 namespace gelc {
@@ -33,6 +34,11 @@ std::atomic<bool>& MetricsFlag() {
   return flag;
 }
 
+std::atomic<bool>& TimingsFlag() {
+  static std::atomic<bool> flag{GlobalConfig().timings_enabled};
+  return flag;
+}
+
 std::atomic<bool>& TraceFlag() {
   static std::atomic<bool> flag{GlobalConfig().trace_enabled};
   return flag;
@@ -55,6 +61,7 @@ struct ExitExporter {
   ExitExporter() : config(GlobalConfig()) {
     internal::TouchMetricsRegistry();
     internal::TouchTraceCollector();
+    internal::TouchTimingRegistry();
   }
 
   Config config;
@@ -72,6 +79,11 @@ struct ExitExporter {
         std::fputs(TraceSummaryText().c_str(), stderr);
       }
     }
+    if (config.timings_enabled && TimingObservationCount() > 0) {
+      // The timing plane's rollup goes to stderr like the trace summary;
+      // it never touches the deterministic snapshot goldens.
+      std::fputs(TimingSummaryText().c_str(), stderr);
+    }
     if (!config.metrics_out.empty()) {
       Status s = WriteSnapshotJson(config.metrics_out);
       if (!s.ok()) std::fprintf(stderr, "gelc: %s\n", s.message().c_str());
@@ -85,6 +97,7 @@ const Config& GlobalConfig() {
   static const Config config = [] {
     Config c;
     c.metrics_enabled = EnvFlag("GELC_METRICS", true);
+    c.timings_enabled = EnvFlag("GELC_TIMINGS", false);
     c.trace_enabled = EnvFlag("GELC_TRACE", false);
     c.trace_out = EnvString("GELC_TRACE_OUT", "gelc_trace.json");
     c.metrics_out = EnvString("GELC_METRICS_OUT", "");
@@ -97,10 +110,18 @@ bool MetricsEnabled() {
   return MetricsFlag().load(std::memory_order_relaxed);
 }
 
+bool TimingsEnabled() {
+  return TimingsFlag().load(std::memory_order_relaxed);
+}
+
 bool TraceEnabled() { return TraceFlag().load(std::memory_order_relaxed); }
 
 void SetMetricsEnabled(bool enabled) {
   MetricsFlag().store(enabled, std::memory_order_relaxed);
+}
+
+void SetTimingsEnabled(bool enabled) {
+  TimingsFlag().store(enabled, std::memory_order_relaxed);
 }
 
 void SetTraceEnabled(bool enabled) {
@@ -109,6 +130,7 @@ void SetTraceEnabled(bool enabled) {
 
 void ResetEnabledFromEnv() {
   SetMetricsEnabled(GlobalConfig().metrics_enabled);
+  SetTimingsEnabled(GlobalConfig().timings_enabled);
   SetTraceEnabled(GlobalConfig().trace_enabled);
 }
 

@@ -1,9 +1,14 @@
-// Observability configuration: one struct, three env vars, runtime
+// Observability configuration: one struct, four env vars, runtime
 // toggles (see DESIGN.md "Observability").
 //
 //   GELC_METRICS      "0" disables the metrics registry (default: on).
 //                     Disabled counters/gauges/histograms are no-ops; the
 //                     instrumented hot paths pay one relaxed atomic load.
+//   GELC_TIMINGS      "1" enables the timing plane (default: off): scoped
+//                     GELC_OBS_TIME timers record into latency histograms
+//                     (obs/timing.h), snapshots gain a `timings` section,
+//                     and the exit exporter prints the latency rollup to
+//                     stderr. Never affects the deterministic plane.
 //   GELC_TRACE        "1" enables scoped trace spans (default: off). At
 //                     process exit the buffered spans are written to
 //                     GELC_TRACE_OUT as Chrome/Perfetto JSON.
@@ -13,8 +18,8 @@
 //                     uses this to embed metrics into BENCH_p*.json).
 //
 // The enabled flags can also be flipped at runtime (tests and gelc_stats
-// do) via SetMetricsEnabled / SetTraceEnabled; passing the env-derived
-// default back is done with ResetEnabledFromEnv.
+// do) via SetMetricsEnabled / SetTimingsEnabled / SetTraceEnabled;
+// passing the env-derived default back is done with ResetEnabledFromEnv.
 #ifndef GELC_OBS_CONFIG_H_
 #define GELC_OBS_CONFIG_H_
 
@@ -26,6 +31,7 @@ namespace obs {
 /// The parsed environment, read once at first use.
 struct Config {
   bool metrics_enabled = true;
+  bool timings_enabled = false;
   bool trace_enabled = false;
   std::string trace_out = "gelc_trace.json";
   std::string metrics_out;  // empty: no exit-time snapshot dump
@@ -37,14 +43,19 @@ const Config& GlobalConfig();
 /// True when counters/gauges/histograms record (hot-path check: one
 /// relaxed atomic load).
 bool MetricsEnabled();
+/// True when scoped GELC_OBS_TIME timers read the clock and record into
+/// latency histograms (hot-path check: one relaxed atomic load).
+bool TimingsEnabled();
 /// True when scoped spans record into the trace ring buffers.
 bool TraceEnabled();
 
 /// Runtime overrides of the env-derived flags (benchmark sweeps and
 /// tests flip these; they affect subsequent records only).
 void SetMetricsEnabled(bool enabled);
+void SetTimingsEnabled(bool enabled);
 void SetTraceEnabled(bool enabled);
-/// Restores both flags to the GELC_METRICS / GELC_TRACE values.
+/// Restores the flags to the GELC_METRICS / GELC_TIMINGS / GELC_TRACE
+/// values.
 void ResetEnabledFromEnv();
 
 namespace internal {

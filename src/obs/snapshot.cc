@@ -25,6 +25,7 @@ StatsSnapshot Snapshot() {
               {h.name(), h.bounds(), h.Counts(), h.TotalCount(), h.Sum()});
         }
       });
+  snap.timings = TimingSnapshot();
   return snap;
 }
 
@@ -66,7 +67,23 @@ std::string SnapshotJson(const StatsSnapshot& snapshot) {
     AppendArray(out, h.counts);
     out << ", \"total\": " << h.total << ", \"sum\": " << h.sum << "}";
   }
-  out << "}}";
+  out << "}";
+  // The timings key appears only when the timing plane recorded
+  // something, so the deterministic goldens keep their exact bytes.
+  if (!snapshot.timings.empty()) {
+    out << ", \"timings\": {";
+    for (size_t i = 0; i < snapshot.timings.size(); ++i) {
+      const LatencySample& t = snapshot.timings[i];
+      if (i) out << ", ";
+      out << "\"" << JsonEscape(t.name) << "\": {\"count\": " << t.count
+          << ", \"sum_ns\": " << t.sum_ns
+          << ", \"p50_ns\": " << FormatDouble(t.p50_ns)
+          << ", \"p90_ns\": " << FormatDouble(t.p90_ns)
+          << ", \"p99_ns\": " << FormatDouble(t.p99_ns) << "}";
+    }
+    out << "}";
+  }
+  out << "}";
   return out.str();
 }
 

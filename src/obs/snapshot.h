@@ -1,11 +1,16 @@
 // Point-in-time view of every touched metric, as a struct and as JSON
 // (see DESIGN.md "Observability").
 //
-// Snapshots contain only deterministic quantities (the registry never
-// holds wall-clock values), are sorted by metric name, and omit metrics
-// that were registered but never recorded — so two identical runs
-// serialize byte-for-byte identically, which tools/gelc_stats and the
-// golden tests in tests/obs_test.cc rely on.
+// The deterministic sections (counters/gauges/histograms) contain only
+// deterministic quantities (the registry never holds wall-clock values),
+// are sorted by metric name, and omit metrics that were registered but
+// never recorded — so two identical runs serialize byte-for-byte
+// identically, which tools/gelc_stats and the golden tests in
+// tests/obs_test.cc rely on. The timing plane rides along in a separate
+// `timings` section (obs/timing.h) that is omitted when empty and is
+// explicitly NOT covered by byte-equality: wall-clock percentiles vary
+// run to run by design. Deterministic-plane comparisons strip it
+// (`gelc_stats --deterministic`).
 #ifndef GELC_OBS_SNAPSHOT_H_
 #define GELC_OBS_SNAPSHOT_H_
 
@@ -14,6 +19,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "obs/timing.h"
 
 namespace gelc {
 namespace obs {
@@ -38,17 +44,24 @@ struct HistogramSample {
 
 /// Every touched metric, each kind sorted by name. Counters that are
 /// still zero, gauges never Set, and empty histograms are omitted.
+/// `timings` holds the (non-deterministic) timing plane and is empty
+/// unless GELC_TIMINGS recorded something.
 struct StatsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<LatencySample> timings;
 };
 
-/// Captures the current registry state.
+/// Captures the current registry state (plus the timing plane, which is
+/// empty unless timers recorded).
 StatsSnapshot Snapshot();
 
 /// Serializes a snapshot as a single line of JSON (no trailing newline):
 ///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+/// with a trailing `, "timings": {...}` key appended ONLY when the
+/// timing plane is non-empty, so the deterministic-plane goldens are
+/// unchanged byte for byte when timings are off.
 /// Gauges use round-trip shortest formatting (FormatDouble), so the
 /// output is byte-stable for equal values.
 std::string SnapshotJson(const StatsSnapshot& snapshot);

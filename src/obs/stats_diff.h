@@ -1,0 +1,98 @@
+// Snapshot comparison: parse two metrics-snapshot JSON files (bare
+// SnapshotJson output or a BENCH_p*.json wrapper with a top-level
+// "gelc_metrics" key), align their counters/gauges/histograms/timings
+// by name, and report deltas — flagging deterministic-counter
+// regressions past a threshold so scripts/check.sh and run_benches.sh
+// can gate on them (see DESIGN.md "Observability").
+//
+// Only counters gate: they are the deterministic plane's invariant
+// quantities (calls, flops, rows), so "new > old" is a real behavioral
+// regression, not noise. Gauges, histograms, and the timing plane are
+// printed for the reader but never affect the exit status.
+#ifndef GELC_OBS_STATS_DIFF_H_
+#define GELC_OBS_STATS_DIFF_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace gelc {
+namespace obs {
+
+/// A minimal JSON value (what the snapshot grammar needs — objects keep
+/// insertion order is NOT required, so a sorted map suffices). Numbers
+/// remember whether they were written as integers so counter values
+/// round-trip exactly.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  bool is_int = false;
+  int64_t int_value = 0;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parses `text` as one JSON value (trailing whitespace allowed,
+/// trailing garbage is an error). Returns InvalidArgument on malformed
+/// input with a character offset in the message.
+Status ParseJson(const std::string& text, JsonValue* out);
+
+/// One snapshot's worth of metrics, keyed by name. Histograms and
+/// timings keep their raw JSON objects (the diff only reads a few
+/// fields from each).
+struct ParsedSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, JsonValue> histograms;
+  std::map<std::string, JsonValue> timings;
+};
+
+/// Parses a snapshot JSON document. Accepts either SnapshotJson output
+/// directly or a benchmark JSON wrapper, in which case the top-level
+/// "gelc_metrics" object is the snapshot. Unknown keys are ignored.
+Status ParseSnapshotJson(const std::string& text, ParsedSnapshot* out);
+
+/// Reads and parses `path`.
+Status LoadSnapshotFile(const std::string& path, ParsedSnapshot* out);
+
+struct DiffOptions {
+  /// A counter regresses when new > old * (1 + threshold) and old > 0.
+  /// 0.0 means any increase regresses.
+  double threshold = 0.0;
+  /// Metric-name prefixes excluded from both the report and the
+  /// regression gate (e.g. "parallel." whose counts track the thread
+  /// schedule, not the workload).
+  std::vector<std::string> ignore;
+};
+
+struct DiffReport {
+  /// Human-readable aligned diff (counters, gauges, histogram totals,
+  /// timing percentiles; one line per metric present in either side).
+  std::string text;
+  /// Names of deterministic counters that regressed past the threshold.
+  std::vector<std::string> regressions;
+};
+
+/// Aligns two parsed snapshots and builds the report. Deterministic —
+/// same inputs, same bytes out.
+DiffReport DiffSnapshots(const ParsedSnapshot& old_snap,
+                         const ParsedSnapshot& new_snap,
+                         const DiffOptions& options);
+
+}  // namespace obs
+}  // namespace gelc
+
+#endif  // GELC_OBS_STATS_DIFF_H_

@@ -1,0 +1,250 @@
+#include "obs/timing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace gelc {
+namespace obs {
+
+namespace internal {
+
+int64_t TimingNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace internal
+
+namespace {
+
+// The shared log-spaced bound table: exact small values 1..4, then four
+// linear steps per power-of-two octave up to 2^36 ns (~68.7s). Relative
+// bucket width is <= 25% everywhere past the exact range, which keeps
+// interpolated percentiles honest without hundreds of buckets.
+std::vector<int64_t> BuildBounds() {
+  std::vector<int64_t> bounds = {1, 2, 3, 4};
+  for (int64_t octave = 4; octave < (int64_t{1} << 36); octave *= 2) {
+    const int64_t step = octave / 4;
+    for (int i = 1; i <= 4; ++i) bounds.push_back(octave + i * step);
+  }
+  return bounds;
+}
+
+// Latency histograms keyed by name in a sorted map (snapshot iteration
+// order is deterministic), mirroring the metrics Registry. The mutex
+// guards registration only; Observe never takes it.
+struct TimingRegistry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
+
+  static TimingRegistry& Instance() {
+    static TimingRegistry registry;
+    return registry;
+  }
+
+  static TimingRegistry& Global() {
+    TimingRegistry& registry = Instance();
+    internal::EnsureExitExporter();
+    return registry;
+  }
+};
+
+std::string FormatMsFixed(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+namespace internal {
+
+void TouchTimingRegistry() { TimingRegistry::Instance(); }
+
+}  // namespace internal
+
+LatencyHistogram::LatencyHistogram(std::string name)
+    : shards_(internal::kShards), name_(std::move(name)) {}
+
+void LatencyHistogram::Observe(int64_t ns) {
+  if (!TimingsEnabled()) return;
+  Shard& shard = shards_[internal::ThisThreadShard()];
+  shard.counts[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum_ns.fetch_add(ns < 0 ? 0 : ns, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> LatencyHistogram::Counts() const {
+  std::vector<uint64_t> out(NumBuckets(), 0);
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < out.size(); ++b) {
+      out[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    for (const auto& c : shard.counts) {
+      total += c.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+int64_t LatencyHistogram::SumNs() const {
+  int64_t sum = 0;
+  for (const Shard& shard : shards_) {
+    sum += shard.sum_ns.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void LatencyHistogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
+    shard.sum_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t LatencyHistogram::NumBuckets() { return BucketBounds().size() + 1; }
+
+const std::vector<int64_t>& LatencyHistogram::BucketBounds() {
+  static const std::vector<int64_t> bounds = BuildBounds();
+  return bounds;
+}
+
+size_t LatencyHistogram::BucketIndex(int64_t ns) {
+  const std::vector<int64_t>& bounds = BucketBounds();
+  // Same inclusive-upper-bound convention as obs::Histogram: bucket i
+  // holds values <= bounds[i]; anything past the last bound overflows.
+  return static_cast<size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), ns) - bounds.begin());
+}
+
+double LatencyHistogram::QuantileNs(const std::vector<uint64_t>& counts,
+                                    double q) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // 0-based continuous rank; interpolate at the midpoint convention so
+  // a single-observation histogram reports that bucket's interior.
+  const double rank = q * (static_cast<double>(total) - 1.0);
+  const std::vector<int64_t>& bounds = BucketBounds();
+  double cum = 0.0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (rank < cum + in_bucket) {
+      const double lo =
+          b == 0 ? 0.0 : static_cast<double>(bounds[b - 1]);
+      // The overflow bucket has no upper edge; report its lower edge.
+      if (b >= bounds.size()) return static_cast<double>(bounds.back());
+      const double hi = static_cast<double>(bounds[b]);
+      const double frac = (rank - cum + 0.5) / in_bucket;
+      return lo + frac * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(bounds.back());
+}
+
+LatencyHistogram* GetLatencyHistogram(const std::string& name) {
+  TimingRegistry& r = TimingRegistry::Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end()) {
+    it = r.histograms
+             .emplace(name, std::make_unique<LatencyHistogram>(name))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<LatencySample> TimingSnapshot() {
+  TimingRegistry& r = TimingRegistry::Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<LatencySample> out;
+  for (const auto& [name, hist] : r.histograms) {
+    std::vector<uint64_t> counts = hist->Counts();
+    uint64_t total = 0;
+    for (uint64_t c : counts) total += c;
+    if (total == 0) continue;
+    LatencySample sample;
+    sample.name = name;
+    sample.count = total;
+    sample.sum_ns = hist->SumNs();
+    sample.p50_ns = LatencyHistogram::QuantileNs(counts, 0.50);
+    sample.p90_ns = LatencyHistogram::QuantileNs(counts, 0.90);
+    sample.p99_ns = LatencyHistogram::QuantileNs(counts, 0.99);
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+uint64_t TimingObservationCount() {
+  TimingRegistry& r = TimingRegistry::Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  uint64_t total = 0;
+  for (const auto& [name, hist] : r.histograms) total += hist->TotalCount();
+  return total;
+}
+
+std::string TimingSummaryText() {
+  std::vector<LatencySample> samples = TimingSnapshot();
+  std::ostringstream out;
+  out << "timer                                     count      p50_ms"
+         "      p90_ms      p99_ms    total_ms\n";
+  // Phase = the series name up to the first '.' (the same convention
+  // the trace-span names follow), so "train.epoch" and "train.step"
+  // roll up under "train". std::map keeps rollup order deterministic.
+  std::map<std::string, std::pair<uint64_t, int64_t>> phases;
+  for (const LatencySample& s : samples) {
+    std::string label = s.name;
+    if (label.size() < 40) label.resize(40, ' ');
+    char line[160];
+    std::snprintf(line, sizeof(line), "%s %6llu %11s %11s %11s %11s\n",
+                  label.c_str(), static_cast<unsigned long long>(s.count),
+                  FormatMsFixed(s.p50_ns).c_str(),
+                  FormatMsFixed(s.p90_ns).c_str(),
+                  FormatMsFixed(s.p99_ns).c_str(),
+                  FormatMsFixed(static_cast<double>(s.sum_ns)).c_str());
+    out << line;
+    std::string phase = s.name.substr(0, s.name.find('.'));
+    auto& [calls, sum] = phases[phase];
+    calls += s.count;
+    sum += s.sum_ns;
+  }
+  if (samples.empty()) {
+    out << "(no timings recorded)\n";
+    return out.str();
+  }
+  out << "phase rollup:\n";
+  for (const auto& [phase, tally] : phases) {
+    std::string label = "  " + phase;
+    if (label.size() < 40) label.resize(40, ' ');
+    char line[160];
+    std::snprintf(line, sizeof(line), "%s %6llu %47s\n", label.c_str(),
+                  static_cast<unsigned long long>(tally.first),
+                  FormatMsFixed(static_cast<double>(tally.second)).c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+void ResetTimingsForTest() {
+  TimingRegistry& r = TimingRegistry::Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, hist] : r.histograms) hist->Reset();
+}
+
+}  // namespace obs
+}  // namespace gelc

@@ -1,0 +1,192 @@
+// The timing plane: wall-clock latency histograms, kept strictly apart
+// from the deterministic metrics registry (see DESIGN.md "Observability"
+// — two-plane doctrine).
+//
+//   void Exec() {
+//     GELC_OBS_TIME("plan_exec");
+//     ...
+//   }
+//
+// `GELC_OBS_TIME(name)` opens a scoped timer that, on destruction,
+// records the elapsed nanoseconds into the process-wide
+// `LatencyHistogram` registered under `name`. Timer names reuse the
+// trace-span names ("matmul", "spmm", "plan_exec", "parallel.for",
+// "train.epoch", ...) so the latency rollups line up with the Chrome
+// traces and the per-phase grouping (the prefix before the first '.')
+// is shared across both exporters.
+//
+// Design contract:
+//  - Off by default (`GELC_TIMINGS=1` enables); a disabled timer costs
+//    one relaxed atomic load and no clock read, exactly like a disabled
+//    counter or span.
+//  - Buckets are log-spaced (powers of two, four linear steps per
+//    octave) from 1ns to ~68s, so p50/p90/p99 extraction is within 25%
+//    of the true quantile everywhere with linear interpolation tighter
+//    in practice.
+//  - Observes are thread-sharded like Counter: each of the kShards
+//    shards owns its own bucket array and a thread picks its shard by
+//    the same thread-local id, so pool workers never bounce a cache
+//    line. Reads merge the shards.
+//  - Latency values NEVER enter the deterministic registry or its
+//    byte-equality goldens: snapshots carry them in a separate
+//    `timings` section that is omitted when empty and explicitly
+//    excluded from the deterministic-plane comparisons
+//    (`gelc_stats --deterministic`, scripts/check.sh).
+//
+// Timing policy: obs/timing.cc and obs/trace.cc are the only TUs
+// outside bench/ allowed to read a chrono clock — the `adhoc-timing`
+// lint rule enforces the allowlist file by file.
+#ifndef GELC_OBS_TIMING_H_
+#define GELC_OBS_TIMING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/config.h"
+#include "obs/metrics.h"  // internal::ThisThreadShard / kShards
+
+namespace gelc {
+namespace obs {
+
+namespace internal {
+/// Monotonic nanoseconds (steady_clock, read in timing.cc); only
+/// meaningful as differences.
+int64_t TimingNowNs();
+
+/// Constructs the timing registry singleton without registering the exit
+/// exporter (mirrors TouchMetricsRegistry / TouchTraceCollector).
+void TouchTimingRegistry();
+}  // namespace internal
+
+/// A log-spaced-bucket histogram over nanosecond latencies, sharded per
+/// thread. Unlike obs::Histogram the bounds are fixed by the class (one
+/// shared log-spaced table), because every latency series needs the same
+/// dynamic range and snapshots only carry the derived percentiles.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(std::string name);
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one latency (values < 1 land in the underflow bucket,
+  /// values past the last bound in the overflow bucket). No-op when
+  /// TimingsEnabled() is false.
+  void Observe(int64_t ns);
+
+  const std::string& name() const { return name_; }
+
+  /// Per-bucket counts merged across shards; NumBuckets() entries.
+  std::vector<uint64_t> Counts() const;
+  /// Merged total observation count.
+  uint64_t TotalCount() const;
+  /// Merged sum of observed nanoseconds.
+  int64_t SumNs() const;
+
+  /// Zeroes every shard (tests / ResetTimingsForTest only).
+  void Reset();
+
+  // --- shared bucket geometry (static; one table for every series) ---
+
+  /// Bucket count including the underflow (index 0) and overflow (last)
+  /// buckets: BucketBounds().size() + 1.
+  static size_t NumBuckets();
+  /// The strictly ascending inclusive upper bounds, in ns. Bucket i
+  /// counts v <= bounds[i] (and > bounds[i-1]); the overflow bucket past
+  /// the last bound has no upper bound.
+  static const std::vector<int64_t>& BucketBounds();
+  /// Index of the bucket an observation of `ns` lands in.
+  static size_t BucketIndex(int64_t ns);
+
+  /// Quantile q in [0, 1] extracted from merged bucket counts by linear
+  /// interpolation inside the landing bucket, in ns. Returns 0 when the
+  /// histogram is empty. Deterministic given the counts.
+  static double QuantileNs(const std::vector<uint64_t>& counts, double q);
+
+ private:
+  // One bucket array per shard; a thread writes only its own shard's
+  // array (same thread-local shard id as Counter), so the alignas keeps
+  // two shards' hot heads off a shared cache line. Constructed in place
+  // (atomics are immovable); vector(count) default-inserts without moves.
+  struct alignas(64) Shard {
+    Shard() : counts(LatencyHistogram::NumBuckets()) {}
+    std::vector<std::atomic<uint64_t>> counts;
+    std::atomic<int64_t> sum_ns{0};
+  };
+  std::vector<Shard> shards_;
+  std::string name_;
+};
+
+/// Derived percentile view of one latency series (what snapshots carry).
+struct LatencySample {
+  std::string name;
+  uint64_t count = 0;
+  int64_t sum_ns = 0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+/// Returns the process-wide latency histogram with this name,
+/// registering it on first use. Handles are never invalidated; call
+/// sites cache them in a function-local static (GELC_OBS_TIME does).
+LatencyHistogram* GetLatencyHistogram(const std::string& name);
+
+/// Every latency series with at least one observation, sorted by name,
+/// with p50/p90/p99 extracted from the merged buckets.
+std::vector<LatencySample> TimingSnapshot();
+
+/// Total observations across every registered series (cheap "anything
+/// recorded?" check for the exit exporter).
+uint64_t TimingObservationCount();
+
+/// Human-readable table: one line per series (count, p50/p90/p99 ms,
+/// total ms) followed by a per-phase rollup, where a series' phase is
+/// its name up to the first '.' ("train.epoch" -> "train"). The exit
+/// exporter prints this to stderr when GELC_TIMINGS was on.
+std::string TimingSummaryText();
+
+/// Zeroes every registered series (registrations and handles survive).
+void ResetTimingsForTest();
+
+/// RAII latency timer: records [construction, destruction) into `hist`
+/// when timings are enabled at construction time. Use via GELC_OBS_TIME.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* hist)
+      : hist_(TimingsEnabled() ? hist : nullptr),
+        start_ns_(hist_ != nullptr ? internal::TimingNowNs() : 0) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    // Re-check enablement so a timer straddling SetTimingsEnabled(false)
+    // (tests toggle it between runs) cannot record a stray observation.
+    if (hist_ != nullptr && TimingsEnabled()) {
+      hist_->Observe(internal::TimingNowNs() - start_ns_);
+    }
+  }
+
+ private:
+  LatencyHistogram* hist_;
+  int64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace gelc
+
+#define GELC_OBS_TIME_CONCAT_INNER_(a, b) a##b
+#define GELC_OBS_TIME_CONCAT_(a, b) GELC_OBS_TIME_CONCAT_INNER_(a, b)
+
+/// GELC_OBS_TIME("name"): times the rest of the enclosing block into the
+/// latency histogram registered under `name` (registered once, cached in
+/// a function-local static; one relaxed load when GELC_TIMINGS is off).
+#define GELC_OBS_TIME(name)                                              \
+  static ::gelc::obs::LatencyHistogram* GELC_OBS_TIME_CONCAT_(           \
+      gelc_obs_lat_, __LINE__) = ::gelc::obs::GetLatencyHistogram(name); \
+  ::gelc::obs::ScopedTimer GELC_OBS_TIME_CONCAT_(gelc_obs_timer_,        \
+                                                 __LINE__)(              \
+      GELC_OBS_TIME_CONCAT_(gelc_obs_lat_, __LINE__))
+
+#endif  // GELC_OBS_TIMING_H_

@@ -7,6 +7,7 @@
 #include "base/logging.h"
 #include "base/parallel.h"
 #include "obs/metrics.h"
+#include "obs/timing.h"
 #include "obs/trace.h"
 #include "tensor/simd.h"
 
@@ -158,6 +159,7 @@ void FusedLayerInto(size_t n, const std::vector<FusedLayerArg>& args,
   GELC_TRACE_SPAN("fused_layer", {{"rows", n},
                                   {"args", args.size()},
                                   {"out_dim", out_dim}});
+  GELC_OBS_TIME("fused_layer");
   row_work = std::max<size_t>(row_work, 1);
   const size_t work = n * row_work;
   if (work < kFusedSerialWork || n == 0) {
@@ -235,6 +237,7 @@ void FusedGinCombineInto(const CsrMatrix& csr, const Matrix& values, double c,
   calls->Increment();
   simd::CountDispatch();
   GELC_TRACE_SPAN("fused_gin_combine", {{"rows", n}, {"d", d}});
+  GELC_OBS_TIME("fused_gin_combine");
   const size_t row_work =
       std::max<size_t>(1, (n == 0 ? 0 : csr.nnz() / n + 1) * d);
   const size_t work = n * row_work;

@@ -6,6 +6,7 @@
 
 #include "base/parallel.h"
 #include "obs/metrics.h"
+#include "obs/timing.h"
 #include "obs/trace.h"
 #include "tensor/simd.h"
 
@@ -108,6 +109,7 @@ void Matrix::MatMulImpl(const Matrix& other, Matrix* out) const {
   simd::CountDispatch();
   GELC_TRACE_SPAN("matmul", {{"rows", rows_}, {"inner", inner},
                              {"ocols", ocols}});
+  GELC_OBS_TIME("matmul");
   if (work < MatMulSerialWork()) {
     static obs::Counter* serial = obs::GetCounter("matmul.serial_dispatch");
     serial->Increment();

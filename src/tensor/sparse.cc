@@ -5,6 +5,7 @@
 #include "base/logging.h"
 #include "base/parallel.h"
 #include "obs/metrics.h"
+#include "obs/timing.h"
 #include "obs/trace.h"
 #include "tensor/simd.h"
 
@@ -115,6 +116,7 @@ void SpMMInto(const CsrMatrix& a, const Matrix& b, Matrix* out) {
   out_rows->Add(a.rows);
   simd::CountDispatch();
   GELC_TRACE_SPAN("spmm", {{"rows", a.rows}, {"nnz", a.nnz()}, {"d", d}});
+  GELC_OBS_TIME("spmm");
   if (work < kSpMMSerialWork || a.rows == 0) {
     static obs::Counter* serial = obs::GetCounter("spmm.serial_dispatch");
     serial->Increment();

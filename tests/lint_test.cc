@@ -185,9 +185,11 @@ TEST(RulesTest, AdhocTimingFiresOutsideObsAndBench) {
             1u);
 }
 
-TEST(RulesTest, AdhocTimingExemptInObsBenchAndNolint) {
+TEST(RulesTest, AdhocTimingExemptInClockTUsBenchAndNolint) {
   EXPECT_TRUE(
       RunOn("src/obs/trace.cc", "std::chrono::steady_clock::now();").empty());
+  EXPECT_TRUE(
+      RunOn("src/obs/timing.cc", "std::chrono::steady_clock::now();").empty());
   EXPECT_TRUE(
       RunOn("bench/bench_e12.cc", "std::chrono::steady_clock::now();")
           .empty());
@@ -195,6 +197,24 @@ TEST(RulesTest, AdhocTimingExemptInObsBenchAndNolint) {
                     "auto t = std::chrono::steady_clock::now();  "
                     "// NOLINT(adhoc-timing)")
                   .empty());
+}
+
+TEST(RulesTest, AdhocTimingFiresInRestOfObs) {
+  // Only the two clock-owning TUs are exempt; a stopwatch anywhere else
+  // in src/obs (the deterministic plane) violates the doctrine.
+  EXPECT_EQ(RunOn("src/obs/metrics.cc",
+                  "auto t = std::chrono::steady_clock::now();")
+                .size(),
+            1u);
+  EXPECT_EQ(RunOn("src/obs/snapshot.cc",
+                  "auto t = std::chrono::system_clock::now();")
+                .size(),
+            1u);
+  // The headers are deterministic-plane surface too.
+  EXPECT_EQ(RunOn("src/obs/timing.h",
+                  "auto t = std::chrono::steady_clock::now();")
+                .size(),
+            1u);
 }
 
 TEST(RulesTest, NondeterminismRandSrandTimeRandomDevice) {

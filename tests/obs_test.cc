@@ -8,6 +8,8 @@
 // by ParallelFor are the "N threads" of the concurrency tests.
 #include "obs/metrics.h"
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "base/parallel.h"
 #include "obs/config.h"
 #include "obs/snapshot.h"
+#include "obs/timing.h"
 #include "obs/trace.h"
 
 namespace gelc {
@@ -31,6 +34,17 @@ struct ScopedThreads {
 struct ScopedMetricsOn {
   ScopedMetricsOn() { obs::SetMetricsEnabled(true); }
   ~ScopedMetricsOn() { obs::ResetEnabledFromEnv(); }
+};
+
+// Forces the timing plane on for the test body, then zeroes it and
+// restores the env-derived flags — so later tests (in particular the
+// byte-exact snapshot goldens) never see a stray timings section.
+struct ScopedTimingsOn {
+  ScopedTimingsOn() { obs::SetTimingsEnabled(true); }
+  ~ScopedTimingsOn() {
+    obs::ResetTimingsForTest();
+    obs::ResetEnabledFromEnv();
+  }
 };
 
 TEST(CounterTest, ConcurrentAddsMergeExactly) {
@@ -246,6 +260,235 @@ TEST(InstrumentationTest, SerialParallelForCountsAsSerial) {
   const uint64_t serial = obs::ReadCounter("parallel.serial_calls");
   ParallelFor(0, 100, 1, [](size_t, size_t) {});
   EXPECT_EQ(obs::ReadCounter("parallel.serial_calls"), serial + 1);
+}
+
+// --------------------------------------------------------------------------
+// Deterministic-plane histogram edge behavior (ISSUE 9 satellite).
+// --------------------------------------------------------------------------
+
+TEST(HistogramTest, UnderflowOverflowAndExactBoundLandings) {
+  ScopedMetricsOn metrics_on;
+  obs::Histogram* h =
+      obs::GetHistogram("test.hist.extreme_edges", {0, 10, 100});
+  // Negative and zero both land in the first bucket (v <= 0).
+  h->Observe(-5);
+  h->Observe(0);
+  // Exact bounds land in their own bucket (inclusive upper edge)...
+  h->Observe(10);
+  h->Observe(100);
+  // ...and one past the last bound overflows, as does INT64_MAX.
+  h->Observe(101);
+  h->Observe(std::numeric_limits<int64_t>::max());
+  std::vector<uint64_t> counts = h->Counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 2u);
+  EXPECT_EQ(h->TotalCount(), 6u);
+}
+
+// --------------------------------------------------------------------------
+// Snapshot JSON escaping (ISSUE 9 satellite). A hand-built snapshot keeps
+// the process-global registry clean of weird names.
+// --------------------------------------------------------------------------
+
+TEST(SnapshotTest, JsonEscapesQuotesAndBackslashesInNames) {
+  obs::StatsSnapshot snap;
+  snap.counters.push_back({"evil\"name", 1});
+  snap.counters.push_back({"back\\slash", 2});
+  snap.gauges.push_back({"tab\there", 0.5});
+  EXPECT_EQ(obs::SnapshotJson(snap),
+            "{\"counters\": {\"evil\\\"name\": 1, \"back\\\\slash\": 2}, "
+            "\"gauges\": {\"tab\\there\": 0.5}, \"histograms\": {}}");
+}
+
+TEST(SnapshotTest, TimingsKeyOmittedWhenEmptyAndEscaped) {
+  obs::StatsSnapshot snap;
+  EXPECT_EQ(obs::SnapshotJson(snap),
+            "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}");
+  obs::LatencySample t;
+  t.name = "timer\"q";
+  t.count = 2;
+  t.sum_ns = 10;
+  t.p50_ns = 4.0;
+  t.p90_ns = 5.0;
+  t.p99_ns = 5.0;
+  snap.timings.push_back(t);
+  EXPECT_EQ(obs::SnapshotJson(snap),
+            "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}, "
+            "\"timings\": {\"timer\\\"q\": {\"count\": 2, \"sum_ns\": 10, "
+            "\"p50_ns\": 4, \"p90_ns\": 5, \"p99_ns\": 5}}}");
+}
+
+// --------------------------------------------------------------------------
+// Timing plane (ISSUE 9 tentpole): latency histogram bucket geometry,
+// quantiles, sharded concurrency, the scoped-timer macro, and the
+// two-plane separation contract.
+// --------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketGeometry) {
+  const std::vector<int64_t>& bounds = obs::LatencyHistogram::BucketBounds();
+  ASSERT_FALSE(bounds.empty());
+  // Strictly ascending, starting 1,2,3,4,5,... ending at 2^36 ns.
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_EQ(bounds[0], 1);
+  EXPECT_EQ(bounds.back(), int64_t{1} << 36);
+  EXPECT_EQ(obs::LatencyHistogram::NumBuckets(), bounds.size() + 1);
+  // Log-spaced: relative step stays <= 25% past the exact range.
+  for (size_t i = 4; i < bounds.size(); ++i) {
+    EXPECT_LE(bounds[i] - bounds[i - 1], (bounds[i - 1] + 3) / 4)
+        << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexEdges) {
+  using LH = obs::LatencyHistogram;
+  const std::vector<int64_t>& bounds = LH::BucketBounds();
+  // Underflow: negatives and 0 share the first bucket with 1.
+  EXPECT_EQ(LH::BucketIndex(-7), 0u);
+  EXPECT_EQ(LH::BucketIndex(0), 0u);
+  EXPECT_EQ(LH::BucketIndex(1), 0u);
+  // Exact bound lands in its own bucket; one past moves up.
+  EXPECT_EQ(LH::BucketIndex(4), 3u);
+  EXPECT_EQ(LH::BucketIndex(5), 4u);
+  // 9 is between bounds 8 and 10.
+  EXPECT_EQ(bounds[7], 8);
+  EXPECT_EQ(bounds[8], 10);
+  EXPECT_EQ(LH::BucketIndex(9), 8u);
+  // The last bound is inclusive; past it is the overflow bucket.
+  EXPECT_EQ(LH::BucketIndex(bounds.back()), bounds.size() - 1);
+  EXPECT_EQ(LH::BucketIndex(bounds.back() + 1), bounds.size());
+  EXPECT_EQ(LH::BucketIndex(std::numeric_limits<int64_t>::max()),
+            bounds.size());
+}
+
+TEST(LatencyHistogramTest, QuantileInterpolatesWithinLandingBucket) {
+  using LH = obs::LatencyHistogram;
+  std::vector<uint64_t> counts(LH::NumBuckets(), 0);
+  EXPECT_EQ(LH::QuantileNs(counts, 0.5), 0.0);  // empty
+  // All mass in the (8, 10] bucket: every quantile stays inside it.
+  counts[LH::BucketIndex(9)] = 100;
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    double v = LH::QuantileNs(counts, q);
+    EXPECT_GT(v, 8.0) << q;
+    EXPECT_LE(v, 10.0) << q;
+  }
+  // Mass split across two buckets: the median falls in the first, the
+  // p99 in the second.
+  std::vector<uint64_t> split(LH::NumBuckets(), 0);
+  split[LH::BucketIndex(2)] = 60;
+  split[LH::BucketIndex(100)] = 40;
+  EXPECT_LE(LH::QuantileNs(split, 0.5), 2.0);
+  // 100 lands in the (96, 112] bucket; the p99 interpolates inside it.
+  double p99 = LH::QuantileNs(split, 0.99);
+  EXPECT_GT(p99, 96.0);
+  EXPECT_LE(p99, 112.0);
+  // Overflow-only mass reports the last bound (no upper edge to lerp to).
+  std::vector<uint64_t> over(LH::NumBuckets(), 0);
+  over[LH::NumBuckets() - 1] = 10;
+  EXPECT_EQ(LH::QuantileNs(over, 0.5),
+            static_cast<double>(LH::BucketBounds().back()));
+}
+
+TEST(LatencyHistogramTest, DisabledObserveIsANoOp) {
+  obs::SetTimingsEnabled(false);
+  obs::LatencyHistogram* h = obs::GetLatencyHistogram("test.lat.disabled");
+  h->Observe(100);
+  EXPECT_EQ(h->TotalCount(), 0u);
+  EXPECT_EQ(h->SumNs(), 0);
+  obs::ResetEnabledFromEnv();
+}
+
+TEST(LatencyHistogramTest, ObserveRecordsAndNegativeClampsSum) {
+  ScopedTimingsOn timings_on;
+  obs::LatencyHistogram* h = obs::GetLatencyHistogram("test.lat.basic");
+  h->Observe(9);
+  h->Observe(9);
+  h->Observe(-3);  // lands in bucket 0; the sum clamps the negative to 0
+  EXPECT_EQ(h->TotalCount(), 3u);
+  EXPECT_EQ(h->SumNs(), 18);
+  std::vector<uint64_t> counts = h->Counts();
+  EXPECT_EQ(counts[obs::LatencyHistogram::BucketIndex(9)], 2u);
+  EXPECT_EQ(counts[0], 1u);
+  h->Reset();
+  EXPECT_EQ(h->TotalCount(), 0u);
+  EXPECT_EQ(h->SumNs(), 0);
+}
+
+TEST(LatencyHistogramTest, ShardedObservesMergeExactlyUnderPool) {
+  ScopedTimingsOn timings_on;
+  ScopedThreads threads(4);
+  obs::LatencyHistogram* h = obs::GetLatencyHistogram("test.lat.sharded");
+  constexpr size_t kPerShard = 20000;
+  ParallelFor(0, 4 * kPerShard, kPerShard, [h](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) h->Observe(static_cast<int64_t>(i % 64));
+  });
+  EXPECT_EQ(h->TotalCount(), 4 * kPerShard);
+}
+
+TEST(ScopedTimerTest, MacroRecordsOneObservationPerScope) {
+  ScopedTimingsOn timings_on;
+  obs::LatencyHistogram* h = obs::GetLatencyHistogram("test.lat.scoped");
+  const uint64_t before = h->TotalCount();
+  for (int i = 0; i < 3; ++i) {
+    GELC_OBS_TIME("test.lat.scoped");
+  }
+  EXPECT_EQ(h->TotalCount(), before + 3);
+  EXPECT_GE(h->SumNs(), 0);
+}
+
+TEST(TimingSnapshotTest, CarriesPercentilesAndSummarizes) {
+  ScopedTimingsOn timings_on;
+  obs::ResetTimingsForTest();
+  obs::LatencyHistogram* h = obs::GetLatencyHistogram("phasea.step");
+  for (int i = 0; i < 100; ++i) h->Observe(9);
+  std::vector<obs::LatencySample> samples = obs::TimingSnapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "phasea.step");
+  EXPECT_EQ(samples[0].count, 100u);
+  EXPECT_EQ(samples[0].sum_ns, 900);
+  EXPECT_GT(samples[0].p50_ns, 8.0);
+  EXPECT_LE(samples[0].p99_ns, 10.0);
+  EXPECT_GE(obs::TimingObservationCount(), 100u);
+  // The summary mentions the series and its phase rollup.
+  std::string summary = obs::TimingSummaryText();
+  EXPECT_NE(summary.find("phasea.step"), std::string::npos);
+  EXPECT_NE(summary.find("phase rollup:"), std::string::npos);
+  EXPECT_NE(summary.find("  phasea"), std::string::npos);
+}
+
+TEST(TimingSnapshotTest, TwoPlaneSeparationIsByteExact) {
+  ScopedMetricsOn metrics_on;
+  // The same deterministic work with timings ON vs OFF: the snapshot's
+  // deterministic sections must not change by a byte. Compare by
+  // clearing the timings vector of the "on" snapshot, which is exactly
+  // what `gelc_stats --deterministic` does.
+  auto run_work = [] {
+    obs::ResetMetricsForTest();
+    obs::GetCounter("test.plane.calls")->Add(41);
+    obs::GetHistogram("test.plane.h", {2, 8})->Observe(5);
+  };
+  obs::SetTimingsEnabled(false);
+  run_work();
+  const std::string off_json = obs::SnapshotJson();
+  {
+    ScopedTimingsOn timings_on;
+    run_work();
+    {
+      GELC_OBS_TIME("test.plane.timer");
+    }
+    obs::StatsSnapshot on_snap = obs::Snapshot();
+    EXPECT_FALSE(on_snap.timings.empty());
+    // With timings present the JSON differs (a timings key appears)...
+    EXPECT_NE(obs::SnapshotJson(on_snap), off_json);
+    // ...and stripping the timing plane restores byte equality.
+    on_snap.timings.clear();
+    EXPECT_EQ(obs::SnapshotJson(on_snap), off_json);
+  }
+  obs::ResetEnabledFromEnv();
 }
 
 }  // namespace
