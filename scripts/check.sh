@@ -32,14 +32,17 @@
 #                            simd_test)
 #   7. TSAN ctest          — TSAN build of only the pool-worker-heavy
 #                            binaries (obs_test, parallel_test, plan_test,
-#                            fuzz_test, simd_test): the obs metrics shards
-#                            / trace ring buffers / latency-histogram
-#                            shards and the fused plan-execution kernels
-#                            are written from pool workers, so their
-#                            merge-on-read and disjoint-row-shard paths
-#                            get a dedicated dynamic race check on top of
-#                            gelc_lint's static one (plan_test also
-#                            carries the compile/fuzz differential suites)
+#                            fuzz_test, simd_test, stream_test): the obs
+#                            metrics shards / trace ring buffers /
+#                            latency-histogram shards and the fused
+#                            plan-execution kernels are written from pool
+#                            workers, so their merge-on-read and
+#                            disjoint-row-shard paths get a dedicated
+#                            dynamic race check on top of gelc_lint's
+#                            static one (plan_test also carries the
+#                            compile/fuzz differential suites; stream_test
+#                            drives the delta-SpMM and incremental-
+#                            refinement signature passes from the pool)
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast  skip steps 6 and 7 (the sanitizer rebuilds) for quick
@@ -72,6 +75,20 @@ GELC_TIMINGS=1 GELC_NUM_THREADS=4 \
   ./build/tools/gelc_stats --deterministic all >"$tmpdir/det_t4.json"
 cmp "$tmpdir/det_t1.json" "$tmpdir/det_t4.json" || {
   echo "check.sh: deterministic snapshots differ across thread counts" >&2
+  exit 1
+}
+# (a') The streaming series specifically: the stream workload writes the
+# stream.* / graph.delta.* / spmm.delta.* / wl.cr.inc.* metrics from
+# replay batches, delta-SpMM reads, and incremental refinement — all of
+# which promise thread-count invariance even with timings on. ("all"
+# above already includes the stream workload; this isolates a streaming
+# regression by name.)
+GELC_TIMINGS=1 GELC_NUM_THREADS=1 \
+  ./build/tools/gelc_stats --deterministic stream >"$tmpdir/stream_t1.json"
+GELC_TIMINGS=1 GELC_NUM_THREADS=4 \
+  ./build/tools/gelc_stats --deterministic stream >"$tmpdir/stream_t4.json"
+cmp "$tmpdir/stream_t1.json" "$tmpdir/stream_t4.json" || {
+  echo "check.sh: stream.* snapshots differ across thread counts" >&2
   exit 1
 }
 # (b) The regression gate must trip on an injected counter increase and
@@ -109,8 +126,8 @@ cmake --build build-ubsan -j >/dev/null
 echo "== [7/7] TSAN ctest =="
 cmake -B build-tsan -S . -DGELC_ENABLE_TSAN=ON >/dev/null
 cmake --build build-tsan -j --target obs_test parallel_test plan_test \
-  fuzz_test simd_test >/dev/null
+  fuzz_test simd_test stream_test >/dev/null
 (cd build-tsan && ctest --output-on-failure \
-  -R '^(obs_test|parallel_test|plan_test|fuzz_test|simd_test)')
+  -R '^(obs_test|parallel_test|plan_test|fuzz_test|simd_test|stream_test)')
 
 echo "check.sh: all gates green"

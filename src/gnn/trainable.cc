@@ -70,6 +70,10 @@ ValueId TrainableGnn::VertexEmbeddings(Tape* tape, const Graph& g,
                                        const CsrGraph& csr) const {
   GELC_CHECK(g.feature_dim() == config_.widths.front());
   GELC_CHECK(csr.num_vertices() == g.num_vertices());
+  // Trainers hoist the CSR view across whole epochs; a concurrent
+  // streaming mutation would silently train on stale structure, so pin
+  // the snapshot's epoch against the graph's (debug builds).
+  csr.CheckFreshFor(g);
   ValueId f = tape->Input(g.features());
   for (const auto& layer : layers_) {
     ValueId self = tape->MatMul(f, tape->Param(&layer->w1));

@@ -28,9 +28,49 @@ CsrMatrix PackLists(size_t n,
   return out;
 }
 
+// GCN normalization from a binary adjacency, matching the dense formula
+// entry for entry: Ã = A + I, D̃_vv = Σ_u Ã_vu (out-degree + 1), entry
+// (v,u) of the operator is Ã_vu / sqrt(D̃_vv · D̃_uu). Shared by the
+// from-Graph and compaction constructors so both produce identical bytes
+// — this loop is the byte-exactness anchor for the normalized view.
+CsrMatrix BuildNormalized(const CsrMatrix& adj) {
+  const size_t n = adj.rows;
+  std::vector<double> dinv(n);
+  for (size_t v = 0; v < n; ++v) {
+    size_t deg = adj.row_offsets[v + 1] - adj.row_offsets[v] + 1;
+    dinv[v] = 1.0 / std::sqrt(static_cast<double>(deg));
+  }
+  CsrMatrix out;
+  out.rows = n;
+  out.cols = n;
+  out.row_offsets.reserve(n + 1);
+  out.row_offsets.push_back(0);
+  out.col_indices.reserve(adj.nnz() + n);
+  out.values.reserve(adj.nnz() + n);
+  for (size_t v = 0; v < n; ++v) {
+    bool self_done = false;
+    auto push = [&out, &dinv, v](size_t u) {
+      out.col_indices.push_back(static_cast<uint32_t>(u));
+      out.values.push_back(dinv[v] * dinv[u]);
+    };
+    for (size_t k = adj.row_offsets[v]; k < adj.row_offsets[v + 1]; ++k) {
+      uint32_t u = adj.col_indices[k];
+      if (!self_done && u > v) {
+        push(v);
+        self_done = true;
+      }
+      push(u);  // Graph rejects self-loops, so u != v and order stays sorted.
+    }
+    if (!self_done) push(v);
+    out.row_offsets.push_back(out.col_indices.size());
+  }
+  return out;
+}
+
 }  // namespace
 
-CsrGraph::CsrGraph(const Graph& g) : symmetric_(!g.directed()) {
+CsrGraph::CsrGraph(const Graph& g)
+    : symmetric_(!g.directed()), epoch_(g.mutation_epoch()) {
   size_t n = g.num_vertices();
   adjacency_ =
       PackLists(n, [&g](VertexId v) -> const std::vector<VertexId>& {
@@ -42,37 +82,24 @@ CsrGraph::CsrGraph(const Graph& g) : symmetric_(!g.directed()) {
           return g.InNeighbors(v);
         });
   }
+  normalized_ = BuildNormalized(adjacency_);
+}
 
-  // GCN normalization, matching the dense formula entry for entry:
-  // Ã = A + I, D̃_vv = Σ_u Ã_vu (out-degree + 1), entry (v,u) of the
-  // operator is Ã_vu / sqrt(D̃_vv · D̃_uu).
-  std::vector<double> dinv(n);
-  for (size_t v = 0; v < n; ++v) {
-    size_t deg = g.OutDegree(static_cast<VertexId>(v)) + 1;
-    dinv[v] = 1.0 / std::sqrt(static_cast<double>(deg));
+CsrGraph::CsrGraph(const CsrGraph& base, const CsrDeltaRows& adj_delta,
+                   const CsrDeltaRows* in_delta, const Graph& g)
+    : symmetric_(!g.directed()), epoch_(g.mutation_epoch()) {
+  GELC_DCHECK_EQ(base.adjacency_.rows, g.num_vertices());
+  adjacency_ = MergeDeltaRows(base.adjacency_, adj_delta);
+  if (!symmetric_) {
+    GELC_CHECK(in_delta != nullptr);
+    transpose_ = MergeDeltaRows(base.transpose_, *in_delta);
   }
-  normalized_.rows = n;
-  normalized_.cols = n;
-  normalized_.row_offsets.reserve(n + 1);
-  normalized_.row_offsets.push_back(0);
-  normalized_.col_indices.reserve(adjacency_.nnz() + n);
-  normalized_.values.reserve(adjacency_.nnz() + n);
-  for (size_t v = 0; v < n; ++v) {
-    bool self_done = false;
-    auto push = [this, &dinv, v](size_t u) {
-      normalized_.col_indices.push_back(static_cast<uint32_t>(u));
-      normalized_.values.push_back(dinv[v] * dinv[u]);
-    };
-    for (VertexId u : g.Neighbors(static_cast<VertexId>(v))) {
-      if (!self_done && u > v) {
-        push(v);
-        self_done = true;
-      }
-      push(u);  // Graph rejects self-loops, so u != v and order stays sorted.
-    }
-    if (!self_done) push(v);
-    normalized_.row_offsets.push_back(normalized_.col_indices.size());
-  }
+  normalized_ = BuildNormalized(adjacency_);
+}
+
+void CsrGraph::CheckFreshFor(const Graph& g) const {
+  (void)g;  // only read in debug builds
+  GELC_DCHECK_EQ(epoch_, g.mutation_epoch());
 }
 
 }  // namespace gelc

@@ -9,8 +9,15 @@
 //                   the GCN propagation operator, weighted
 // For undirected graphs A is symmetric, so transpose() shares storage
 // with adjacency().
+//
+// Every snapshot carries the mutation epoch of the Graph it was built
+// from; CheckFreshFor lets holders of a hoisted view assert (DCHECK, so
+// debug builds only) that the graph has not been mutated underneath them
+// — the staleness hazard of the streaming delta-CSR path (DESIGN.md §12).
 #ifndef GELC_GRAPH_CSR_H_
 #define GELC_GRAPH_CSR_H_
+
+#include <cstdint>
 
 #include "tensor/sparse.h"
 
@@ -19,10 +26,19 @@ namespace gelc {
 class Graph;
 
 /// Immutable CSR snapshot of a Graph's structure. Obtain via Graph::Csr()
-/// (cached, invalidated on mutation) rather than constructing directly.
+/// (cached, compacted on mutation) rather than constructing directly.
 class CsrGraph {
  public:
   explicit CsrGraph(const Graph& g);
+
+  /// Compaction constructor: `base` plus the pending per-row deltas
+  /// (adjacency and, for directed graphs, transpose; `in_delta` is null
+  /// for the symmetric case). Produces exactly the bytes CsrGraph(g)
+  /// would: the merged adjacency/transpose and a normalized operator
+  /// rebuilt from the merged adjacency — degree renormalization touches
+  /// every incident entry, so that operator cannot be delta-merged.
+  CsrGraph(const CsrGraph& base, const CsrDeltaRows& adj_delta,
+           const CsrDeltaRows* in_delta, const Graph& g);
 
   /// Binary adjacency A: row v lists v's out-neighbors ascending.
   const CsrMatrix& adjacency() const { return adjacency_; }
@@ -36,8 +52,16 @@ class CsrGraph {
 
   size_t num_vertices() const { return adjacency_.rows; }
 
+  /// The Graph::mutation_epoch() this snapshot was built at.
+  uint64_t epoch() const { return epoch_; }
+  /// DCHECKs that `g` has not been mutated since this snapshot was built.
+  /// Call at the top of any scope that hoists a Csr() reference across
+  /// work that could interleave with graph mutations (trainers do).
+  void CheckFreshFor(const Graph& g) const;
+
  private:
   bool symmetric_;
+  uint64_t epoch_ = 0;
   CsrMatrix adjacency_;
   CsrMatrix transpose_;  // empty when symmetric_ (adjacency_ serves both)
   CsrMatrix normalized_;

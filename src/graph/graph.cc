@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <sstream>
 
 #include "base/logging.h"
@@ -31,7 +32,82 @@ bool SortedInsert(std::vector<VertexId>* v, VertexId x) {
   return true;
 }
 
+// Erases x from a sorted vector, returning false if absent.
+bool SortedErase(std::vector<VertexId>* v, VertexId x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it == v->end() || *it != x) return false;
+  v->erase(it);
+  return true;
+}
+
+// True if the CSR base stores entry (row, col).
+bool BaseHasEntry(const CsrMatrix& base, VertexId row, VertexId col) {
+  return std::binary_search(
+      base.col_indices.begin() +
+          static_cast<ptrdiff_t>(base.row_offsets[row]),
+      base.col_indices.begin() +
+          static_cast<ptrdiff_t>(base.row_offsets[row + 1]),
+      col);
+}
+
+// Applies one edit to a delta: an insert of an entry the base already has
+// cancels a pending remove (and vice versa), so the delta stays the exact
+// row-wise symmetric difference against the base.
+void RecordEdit(CsrDeltaRows* delta, const CsrMatrix& base, VertexId row,
+                VertexId col, bool insert) {
+  if (insert) {
+    if (BaseHasEntry(base, row, col)) {
+      GELC_CHECK(SortedErase(&delta->remove[row], col));
+      --delta->remove_nnz;
+    } else {
+      GELC_CHECK(SortedInsert(&delta->add[row], col));
+      ++delta->add_nnz;
+    }
+  } else {
+    if (BaseHasEntry(base, row, col)) {
+      GELC_CHECK(SortedInsert(&delta->remove[row], col));
+      ++delta->remove_nnz;
+    } else {
+      GELC_CHECK(SortedErase(&delta->add[row], col));
+      --delta->add_nnz;
+    }
+  }
+}
+
 }  // namespace
+
+void Graph::RecordDeltaArc(VertexId u, VertexId v, bool insert) {
+  if (adj_delta_.rows != num_vertices()) {
+    adj_delta_.Resize(num_vertices());
+    if (directed_) in_delta_.Resize(num_vertices());
+  }
+  RecordEdit(&adj_delta_, csr_->adjacency(), u, v, insert);
+  if (directed_) {
+    RecordEdit(&in_delta_, csr_->transpose(), v, u, insert);
+  } else {
+    RecordEdit(&adj_delta_, csr_->adjacency(), v, u, insert);
+  }
+}
+
+size_t Graph::ResolvedCompactionThreshold() const {
+  if (compaction_threshold_ != 0) return compaction_threshold_;
+  size_t base_nnz = csr_ != nullptr ? csr_->adjacency().nnz() : 0;
+  return std::max<size_t>(256, base_nnz / 4);
+}
+
+void Graph::CompactCsr() const {
+  static obs::Counter* compactions =
+      obs::GetCounter("graph.delta.compactions");
+  static obs::Histogram* size_hist = obs::GetHistogram(
+      "graph.delta.size_at_compaction", {16, 64, 256, 1024, 4096, 16384});
+  compactions->Increment();
+  size_hist->Observe(static_cast<int64_t>(adj_delta_.pending()));
+  GELC_OBS_TIME("stream.compaction");
+  csr_ = std::make_shared<const CsrGraph>(
+      *csr_, adj_delta_, directed_ ? &in_delta_ : nullptr, *this);
+  adj_delta_.Clear();
+  if (directed_) in_delta_.Clear();
+}
 
 Status Graph::AddEdge(VertexId u, VertexId v) {
   size_t n = num_vertices();
@@ -52,11 +128,37 @@ Status Graph::AddEdge(VertexId u, VertexId v) {
     SortedInsert(&in_[u], v);
     ++num_arcs_;
   }
+  ++mutation_epoch_;
   if (csr_ != nullptr) {
-    static obs::Counter* invalidations =
-        obs::GetCounter("graph.csr_cache.invalidations");
-    invalidations->Increment();
-    csr_.reset();  // structure changed; the CSR snapshot is stale
+    RecordDeltaArc(u, v, /*insert=*/true);
+    if (adj_delta_.pending() > ResolvedCompactionThreshold()) CompactCsr();
+  }
+  return Status::OK();
+}
+
+Status Graph::RemoveEdge(VertexId u, VertexId v) {
+  size_t n = num_vertices();
+  if (u >= n || v >= n) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loops are not supported");
+  }
+  if (!HasEdge(u, v)) {
+    return Status::NotFound("no such edge");
+  }
+  SortedErase(&out_[u], v);
+  SortedErase(&in_[v], u);
+  --num_arcs_;
+  if (!directed_) {
+    SortedErase(&out_[v], u);
+    SortedErase(&in_[u], v);
+    --num_arcs_;
+  }
+  ++mutation_epoch_;
+  if (csr_ != nullptr) {
+    RecordDeltaArc(u, v, /*insert=*/false);
+    if (adj_delta_.pending() > ResolvedCompactionThreshold()) CompactCsr();
   }
   return Status::OK();
 }
@@ -87,17 +189,41 @@ Matrix Graph::AdjacencyMatrix() const {
   return a;
 }
 
+void Graph::EnsureCsrBase() const {
+  if (csr_ != nullptr) return;
+  static obs::Counter* misses = obs::GetCounter("graph.csr_cache.misses");
+  misses->Increment();
+  GELC_OBS_TIME("graph.csr_build");
+  csr_ = std::make_shared<const CsrGraph>(*this);
+}
+
 const CsrGraph& Graph::Csr() const {
   if (csr_ == nullptr) {
-    static obs::Counter* misses = obs::GetCounter("graph.csr_cache.misses");
-    misses->Increment();
-    GELC_OBS_TIME("graph.csr_build");
-    csr_ = std::make_shared<const CsrGraph>(*this);
+    EnsureCsrBase();
+  } else if (!adj_delta_.empty()) {
+    CompactCsr();  // fold the pending delta so the snapshot is exact
   } else {
     static obs::Counter* hits = obs::GetCounter("graph.csr_cache.hits");
     hits->Increment();
   }
   return *csr_;
+}
+
+DeltaCsrView Graph::AdjacencyDeltaView() const {
+  EnsureCsrBase();
+  DeltaCsrView view;
+  view.base = &csr_->adjacency();
+  view.delta = adj_delta_.empty() ? nullptr : &adj_delta_;
+  return view;
+}
+
+DeltaCsrView Graph::TransposeDeltaView() const {
+  if (!directed_) return AdjacencyDeltaView();
+  EnsureCsrBase();
+  DeltaCsrView view;
+  view.base = &csr_->transpose();
+  view.delta = in_delta_.empty() ? nullptr : &in_delta_;
+  return view;
 }
 
 size_t Graph::dense_adjacency_builds() {

@@ -323,6 +323,36 @@ void RuleInterpreterInHotPath(const FileContext& ctx,
 }
 
 // ---------------------------------------------------------------------------
+// csr-rebuild-in-stream-path: the update-log replayer is the streaming
+// hot loop; calling the full Graph::Csr() compaction (or materializing a
+// dense adjacency) per op/batch reintroduces the rebuild-per-mutation
+// cost the delta-CSR exists to remove. Streaming readers use
+// AdjacencyDeltaView()/TransposeDeltaView() + SpMMDelta instead;
+// compaction happens on the Graph's own threshold schedule.
+// ---------------------------------------------------------------------------
+void RuleCsrRebuildInStreamPath(const FileContext& ctx,
+                                std::vector<Diagnostic>* out) {
+  if (!PathEndsWith(ctx.path, "graph/update_log.h") &&
+      !PathEndsWith(ctx.path, "graph/update_log.cc")) {
+    return;
+  }
+  const Tokens& t = ctx.lex->tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    if ((t[i].text == "Csr" || t[i].text == "AdjacencyMatrix" ||
+         t[i].text == "MeanAdjacencyMatrix") &&
+        t[i + 1].Is("(")) {
+      Report(ctx, t[i].line, "csr-rebuild-in-stream-path",
+             t[i].text +
+                 "() in the update-log replay path forces a full CSR "
+                 "rebuild per batch; stream readers use the delta views "
+                 "(Graph::AdjacencyDeltaView) instead",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // segment-boundary-indexing: GNN code must not index into a GraphBatch's
 // backing vectors by hand (`batch.segment_ids()[v]`,
 // `batch.vertex_offsets()[i]`, or arithmetic over them) — off-by-one
@@ -483,6 +513,7 @@ const std::vector<std::string>& AllRuleNames() {
   static const std::vector<std::string> kNames = {
       "unchecked-status",  "dense-adjacency-in-hot-path",
       "interpreter-in-hot-path",
+      "csr-rebuild-in-stream-path",
       "segment-boundary-indexing",
       "raw-thread",        "adhoc-timing",
       "nondeterminism",    "banned-alloc",
@@ -501,6 +532,7 @@ std::vector<Diagnostic> RunAllRules(const FileContext& ctx) {
   RuleUncheckedStatus(ctx, &out);
   RuleDenseAdjacency(ctx, &out);
   RuleInterpreterInHotPath(ctx, &out);
+  RuleCsrRebuildInStreamPath(ctx, &out);
   RuleSegmentIndexing(ctx, &out);
   RuleRawThread(ctx, &out);
   RuleAdhocTiming(ctx, &out);

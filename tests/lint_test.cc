@@ -328,6 +328,36 @@ TEST(RulesTest, InterpreterInHotPathOnlyUnderGnn) {
   EXPECT_TRUE(RunOn("tests/plan_test.cc", src).empty());
 }
 
+TEST(RulesTest, CsrRebuildInStreamPathOnlyInUpdateLog) {
+  const std::string src = "const CsrGraph& c = g.Csr(); c.adjacency();";
+  ASSERT_EQ(RunOn("src/graph/update_log.cc", src).size(), 1u);
+  EXPECT_EQ(RunOn("src/graph/update_log.cc", src)[0].rule,
+            "csr-rebuild-in-stream-path");
+  EXPECT_EQ(RunOn("src/graph/update_log.h",
+                  "Matrix a = g.AdjacencyMatrix();")[0]
+                .rule,
+            "csr-rebuild-in-stream-path");
+  EXPECT_EQ(RunOn("src/graph/update_log.cc",
+                  "Matrix m = g.MeanAdjacencyMatrix();")
+                .size(),
+            1u);
+  // The same calls anywhere else — including the rest of graph/ and the
+  // stream tests/tools, where the compaction path is the subject under
+  // test — are the sanctioned snapshot API.
+  EXPECT_TRUE(RunOn("src/graph/graph.cc", src).empty());
+  EXPECT_TRUE(RunOn("tests/stream_test.cc", src).empty());
+  EXPECT_TRUE(RunOn("tools/gelc_stream.cc", src).empty());
+  // A mention without a call (e.g. in a comment-adjacent identifier
+  // position such as `Csr` in a doc string) only fires when followed by
+  // an argument list.
+  EXPECT_TRUE(
+      RunOn("src/graph/update_log.cc", "int Csr = 0; Csr += 1;").empty());
+  // NOLINT waives it like every other rule.
+  EXPECT_TRUE(RunOn("src/graph/update_log.cc",
+                    "g.Csr();  // NOLINT(csr-rebuild-in-stream-path)")
+                  .empty());
+}
+
 TEST(RulesTest, SegmentIndexingOnlyUnderGnn) {
   const std::string ids = "size_t s = batch.segment_ids()[v];";
   const std::string offs = "size_t lo = batch.vertex_offsets()[i + 1];";
@@ -836,13 +866,14 @@ TEST(ReportTest, JsonByRuleSummary) {
 
 TEST(ReportTest, AllRuleNamesListedOnce) {
   const auto& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 13u);
+  EXPECT_EQ(names.size(), 14u);
   for (const char* expected :
        {"unchecked-status", "dense-adjacency-in-hot-path",
-        "interpreter-in-hot-path", "segment-boundary-indexing",
-        "raw-thread", "adhoc-timing", "nondeterminism", "banned-alloc",
-        "intrinsics-outside-tensor", "include-hygiene",
-        "parallel-region-race", "include-layering", "include-cycle"}) {
+        "interpreter-in-hot-path", "csr-rebuild-in-stream-path",
+        "segment-boundary-indexing", "raw-thread", "adhoc-timing",
+        "nondeterminism", "banned-alloc", "intrinsics-outside-tensor",
+        "include-hygiene", "parallel-region-race", "include-layering",
+        "include-cycle"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }

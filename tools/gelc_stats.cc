@@ -1,7 +1,8 @@
 // gelc_stats: run fixed-seed workloads and print the metrics snapshot,
 // or diff two previously captured snapshots.
 //
-//   gelc_stats [--deterministic] [wl|kwl|spmm|train|all ...]  (default: all)
+//   gelc_stats [--deterministic] [wl|kwl|spmm|train|stream|all ...]
+//                                                          (default: all)
 //   gelc_stats --diff OLD.json NEW.json [--threshold X] [--ignore PREFIX]...
 //   gelc_stats --simd-tier
 //
@@ -36,6 +37,7 @@
 #include "gnn/trainable.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "graph/update_log.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
@@ -44,13 +46,14 @@
 #include "tensor/simd.h"
 #include "tensor/sparse.h"
 #include "wl/color_refinement.h"
+#include "wl/incremental.h"
 #include "wl/kwl.h"
 
 namespace gelc {
 namespace {
 
 constexpr const char* kWorkloadNames[] = {"wl", "kwl", "spmm", "train",
-                                          "all"};
+                                          "stream", "all"};
 
 bool KnownWorkload(const std::string& w) {
   for (const char* name : kWorkloadNames) {
@@ -65,6 +68,9 @@ void PrintWorkloadList(std::FILE* out) {
   std::fprintf(out, "  kwl     2-WL over two small random graphs\n");
   std::fprintf(out, "  spmm    SpMM + dense MatMul on a sparse G(n,p)\n");
   std::fprintf(out, "  train   8-epoch node-classifier training run\n");
+  std::fprintf(out,
+               "  stream  update-log replay with delta-CSR reads and\n"
+               "          incremental color refinement\n");
   std::fprintf(out, "  all     every workload above, in this order\n");
 }
 
@@ -91,6 +97,34 @@ void RunSpmmWorkload() {
   Matrix w = Matrix::RandomUniform(32, 32, -1.0, 1.0, &rng);
   Matrix dense = out.MatMul(w);
   (void)dense;
+}
+
+// Streaming: replay a seeded update log over a G(n,p) base, keeping the
+// incremental refiner current and running a delta-merged SpMM read every
+// other batch. Exercises the stream.*, graph.delta.*, spmm.delta.* and
+// wl.cr.inc.* series; all of them are thread-count invariant, so this
+// workload sits inside the `--deterministic` byte-identity gate.
+void RunStreamWorkload() {
+  Rng rng(23);
+  Graph g = RandomGnp(300, 0.02, &rng);
+  (void)g.Csr();  // warm the base; mutations take the delta path
+  g.set_csr_compaction_threshold(128);
+  IncrementalColorRefiner refiner(&g);
+  Matrix f = Matrix::RandomUniform(300, 16, -1.0, 1.0, &rng);
+  UpdateLog log = GenerateUpdateLog(g, 600, 0.4, &rng);
+  ReplayOptions options;
+  options.batch_size = 48;
+  size_t batches = 0;
+  GELC_CHECK_OK(
+      ReplayUpdateLog(log, &g, options, [&](const ReplayBatch& batch) {
+        refiner.Update(batch.touched);
+        if (++batches % 2 == 0) {
+          DeltaCsrView view = g.AdjacencyDeltaView();
+          Matrix out = SpMMDelta(*view.base, view.delta, f);
+          (void)out;
+        }
+        return Status::OK();
+      }));
 }
 
 void RunTrainWorkload() {
@@ -139,6 +173,7 @@ int RunWorkloads(const std::vector<std::string>& workloads,
     if (w == "kwl" || w == "all") RunKwlWorkload();
     if (w == "spmm" || w == "all") RunSpmmWorkload();
     if (w == "train" || w == "all") RunTrainWorkload();
+    if (w == "stream" || w == "all") RunStreamWorkload();
   }
   obs::StatsSnapshot snap = obs::Snapshot();
   if (deterministic) {
